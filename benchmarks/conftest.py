@@ -1,0 +1,43 @@
+"""Benchmark configuration.
+
+Benchmarks run the experiment harness at the scale selected by
+``REPRO_SCALE`` (default ``ci``); each bench regenerates one of the
+paper's tables or figures and asserts its shape conclusions, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+#: Where the regenerated tables/figures land after a benchmark session.
+REPORT_PATH = Path(__file__).resolve().parent / "latest_reports.txt"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active experiment scale."""
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Collected experiment reports; printed and written to
+    ``benchmarks/latest_reports.txt`` at the end of the session."""
+    collected = []
+    yield collected
+    if not collected:
+        return
+    text = "\n\n".join(collected) + "\n"
+    REPORT_PATH.write_text(text)
+    print()
+    print(text)
+    print(f"[reports written to {REPORT_PATH}]")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bench_experiment: regenerates a paper table/figure"
+    )

@@ -1,0 +1,41 @@
+"""Buffer-pool ablation: cold vs warm scans on the SFC index."""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+SIDE = 64
+RECT = Rect((4, 4), (52, 53))
+
+
+def _build(buffer_pages):
+    index = SFCIndex(
+        make_curve("onion", SIDE, 2), page_capacity=8, buffer_pages=buffer_pages
+    )
+    rng = np.random.default_rng(31)
+    index.bulk_load(map(tuple, rng.integers(0, SIDE, size=(4000, 2))))
+    index.flush()
+    return index
+
+
+def test_bench_cold_scans_no_pool(benchmark):
+    index = _build(buffer_pages=0)
+    benchmark(index.range_query, RECT)
+
+
+def test_bench_warm_scans_with_pool(benchmark):
+    index = _build(buffer_pages=4096)
+    index.range_query(RECT)  # warm the pool
+    benchmark(index.range_query, RECT)
+
+
+def test_warm_scans_skip_the_disk(benchmark):
+    index = _build(buffer_pages=4096)
+    cold = index.range_query(RECT)
+    warm = benchmark(index.range_query, RECT)
+    assert cold.seeks > 0
+    assert warm.seeks == 0
+    assert len(warm.records) == len(cold.records)

@@ -1,0 +1,67 @@
+"""Curve-operation performance and the closed-form-vs-recursion ablation."""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve, onion2d_index_recursive
+from repro.curves.onion2d import OnionCurve2D
+
+SIDE_2D = 256
+BATCH = 10_000
+
+
+@pytest.fixture(scope="module")
+def cells_2d():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, SIDE_2D, size=(BATCH, 2))
+
+
+@pytest.fixture(scope="module")
+def keys_2d():
+    rng = np.random.default_rng(2)
+    return rng.integers(0, SIDE_2D * SIDE_2D, size=BATCH)
+
+
+class TestOnionFormAblation:
+    """DESIGN.md ablation: the O(1) closed form vs the paper's recursion."""
+
+    def test_closed_form_scalar(self, benchmark, cells_2d):
+        curve = OnionCurve2D(SIDE_2D)
+        cells = [tuple(c) for c in cells_2d[:1000]]
+        benchmark(lambda: [curve.index(c) for c in cells])
+
+    def test_recursive_reference(self, benchmark, cells_2d):
+        cells = [tuple(c) for c in cells_2d[:1000]]
+        benchmark(lambda: [onion2d_index_recursive(SIDE_2D, c) for c in cells])
+
+    def test_forms_agree(self, cells_2d):
+        curve = OnionCurve2D(SIDE_2D)
+        for cell in map(tuple, cells_2d[:200]):
+            assert curve.index(cell) == onion2d_index_recursive(SIDE_2D, cell)
+
+
+@pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+class TestVectorizedThroughput:
+    """Vectorized key/point kernels across curves (scalar loop vs numpy)."""
+
+    def test_index_many(self, benchmark, name, cells_2d):
+        curve = make_curve(name, SIDE_2D, 2)
+        benchmark(curve.index_many, cells_2d)
+
+    def test_point_many(self, benchmark, name, keys_2d):
+        curve = make_curve(name, SIDE_2D, 2)
+        benchmark(curve.point_many, keys_2d)
+
+
+class TestOnion3DThroughput:
+    def test_index_many_3d(self, benchmark):
+        curve = make_curve("onion", 64, 3)
+        rng = np.random.default_rng(3)
+        cells = rng.integers(0, 64, size=(BATCH, 3))
+        benchmark(curve.index_many, cells)
+
+    def test_point_many_3d(self, benchmark):
+        curve = make_curve("onion", 64, 3)
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 64**3, size=BATCH)
+        benchmark(curve.point_many, keys)

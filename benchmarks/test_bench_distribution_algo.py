@@ -1,0 +1,45 @@
+"""Algorithmic benchmark: the exact-distribution sweep vs naive sampling.
+
+The difference-array algorithm evaluates *every* translation in O(n);
+sampling evaluates ``k`` random translations at O(surface) each.  This
+bench quantifies the crossover — at moderate sides the exact sweep beats
+even modest sampling while answering a strictly stronger question.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import exact_cluster_distribution
+from repro.core.clustering import clustering_distribution
+from repro.core.queries import random_cubes
+from repro.curves import make_curve
+
+SIDE = 128
+LENGTH = 96
+
+
+@pytest.fixture(scope="module")
+def onion():
+    return make_curve("onion", SIDE, 2)
+
+
+def test_bench_exact_all_translations(benchmark, onion):
+    dist = benchmark(exact_cluster_distribution, onion, (LENGTH, LENGTH))
+    assert dist.shape == (SIDE - LENGTH + 1,) * 2
+
+
+def test_bench_sampled_100_queries(benchmark, onion):
+    rng = np.random.default_rng(0)
+    queries = random_cubes(SIDE, 2, LENGTH, 100, rng)
+    benchmark(clustering_distribution, onion, queries)
+
+
+def test_sampled_medians_inside_exact_envelope(onion):
+    """Cross-validation: sampled Fig 5 statistics must sit inside the
+    exact distribution's range."""
+    exact = exact_cluster_distribution(onion, (LENGTH, LENGTH)).ravel()
+    rng = np.random.default_rng(1)
+    queries = random_cubes(SIDE, 2, LENGTH, 200, rng)
+    sampled = clustering_distribution(onion, queries)
+    assert exact.min() <= np.median(sampled) <= exact.max()
+    assert abs(float(np.mean(sampled)) - float(exact.mean())) < 0.2 * exact.mean() + 1

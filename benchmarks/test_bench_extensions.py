@@ -1,0 +1,63 @@
+"""Benchmarks for the extension experiments.
+
+* exact distributions (the sampling-free Fig 5),
+* the gap-tolerance ablation (relaxed retrieval model),
+* the 4-d onion extension,
+* the clustering-vs-stretch table.
+"""
+
+import pytest
+
+from repro.experiments import distributions, gap_ablation, higher_dims, stretch_table
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig5_exact_2d(benchmark, scale, reports):
+    """Exact (all-translations) Fig 5a via the difference-array sweep."""
+    result = benchmark.pedantic(
+        distributions.run, args=(scale,), kwargs={"dim": 2}, rounds=1
+    )
+    reports.append(result.render())
+    gaps = result.column("median gap (h/o)")
+    assert gaps[0] > 5
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig5_exact_3d(benchmark, scale, reports):
+    """Exact Fig 5b."""
+    result = benchmark.pedantic(
+        distributions.run, args=(scale,), kwargs={"dim": 3}, rounds=1
+    )
+    reports.append(result.render())
+    gaps = result.column("median gap (h/o)")
+    assert gaps[0] > 10
+
+
+@pytest.mark.bench_experiment
+def test_bench_gap_ablation(benchmark, scale, reports):
+    """Seeks vs over-read under the relaxed retrieval model."""
+    result = benchmark.pedantic(gap_ablation.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    at_zero = {
+        curve: seeks
+        for tolerance, curve, seeks, _, _ in result.rows
+        if tolerance == 0
+    }
+    assert at_zero["onion"] < at_zero["hilbert"] < at_zero["zorder"]
+
+
+@pytest.mark.bench_experiment
+def test_bench_higher_dims(benchmark, scale, reports):
+    """The 4-d onion extension vs Hilbert (future work, measured)."""
+    result = benchmark.pedantic(higher_dims.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    assert result.rows[-1][-1] > 3
+
+
+@pytest.mark.bench_experiment
+def test_bench_stretch_table(benchmark, scale, reports):
+    """The clustering-vs-stretch trade-off table."""
+    result = benchmark.pedantic(stretch_table.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    clustering = dict(zip(result.column("curve"), result.column("clustering")))
+    assert clustering["onion"] == min(clustering.values())

@@ -1,0 +1,24 @@
+"""Benchmarks regenerating Figures 1 and 2 (the motivating examples)."""
+
+import pytest
+
+from repro.experiments import fig1, fig2
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig1(benchmark, reports):
+    """Fig 1: Hilbert (2 clusters) vs Z (4 clusters) on a sample query."""
+    result = benchmark(fig1.run)
+    reports.append(result.render())
+    witness_row = result.rows[0]
+    assert witness_row[1] == 2 and witness_row[2] == 4
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig2(benchmark, reports):
+    """Fig 2: the 7x7 query — onion 1 cluster, Hilbert 5."""
+    result = benchmark(fig2.run)
+    reports.append(result.render())
+    data_rows = result.rows[:-1]
+    assert any(o == 1 and h == 5 for _, o, h in data_rows)
+    assert all(o <= h for _, o, h in data_rows)

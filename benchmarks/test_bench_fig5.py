@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 5 (cube-query clustering distributions)."""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig5a_2d(benchmark, scale, reports):
+    """Fig 5a: random squares, onion vs Hilbert.
+
+    Shape assertions: the median gap exceeds 5x for near-full squares and
+    decays toward ~1 for small ones — the paper's Section VII-A story.
+    """
+    result = benchmark.pedantic(fig5.run, args=(scale,), kwargs={"dim": 2}, rounds=1)
+    reports.append(result.render())
+    gaps = result.column("median gap (h/o)")
+    assert gaps[0] > 5
+    assert 0.7 <= gaps[-1] <= 1.5
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig5b_3d(benchmark, scale, reports):
+    """Fig 5b: random cubes in 3-d; the paper reports >200x at side 472/512."""
+    result = benchmark.pedantic(fig5.run, args=(scale,), kwargs={"dim": 3}, rounds=1)
+    reports.append(result.render())
+    gaps = result.column("median gap (h/o)")
+    assert gaps[0] > 20
+    assert gaps[-1] < 3

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 6 (fixed side-ratio rectangles)."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig6a_2d(benchmark, scale, reports):
+    """Fig 6a: onion's advantage peaks as the ratio approaches 1."""
+    result = benchmark.pedantic(fig6.run, args=(scale,), kwargs={"dim": 2}, rounds=1)
+    reports.append(result.render())
+    by_ratio = dict(zip(result.column("ratio"), result.column("median gap (h/o)")))
+    extreme = [g for r, g in by_ratio.items() if r in ("0.25", "4")]
+    assert by_ratio["1"] >= max(extreme) - 0.2
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig6b_3d(benchmark, scale, reports):
+    """Fig 6b: the 3-d variant produces a full sweep of feasible ratios."""
+    result = benchmark.pedantic(fig6.run, args=(scale,), kwargs={"dim": 3}, rounds=1)
+    reports.append(result.render())
+    assert len(result.rows) >= 4

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 7 (random-corner rectangles)."""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig7a_2d(benchmark, scale, reports):
+    """Fig 7a: onion's median is at least as good as Hilbert's."""
+    result = benchmark.pedantic(fig7.run, args=(scale,), kwargs={"dim": 2}, rounds=1)
+    reports.append(result.render())
+    medians = dict(zip(result.column("curve"), result.column("median")))
+    assert medians["onion"] <= medians["hilbert"] * 1.05
+
+
+@pytest.mark.bench_experiment
+def test_bench_fig7b_3d(benchmark, scale, reports):
+    """Fig 7b: same in three dimensions."""
+    result = benchmark.pedantic(fig7.run, args=(scale,), kwargs={"dim": 3}, rounds=1)
+    reports.append(result.render())
+    medians = dict(zip(result.column("curve"), result.column("median")))
+    assert medians["onion"] <= medians["hilbert"] * 1.05

@@ -1,0 +1,61 @@
+"""End-to-end index benchmarks: range-query latency and seek counts.
+
+Ties the paper's clustering story to the storage layer: on a large
+(near-cube) region scan the onion-keyed index must need fewer seeks than
+the Hilbert- or Z-keyed one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+SIDE = 64
+LARGE_RECT = Rect((2, 3), (58, 59))
+SMALL_RECT = Rect((10, 10), (17, 17))
+
+
+def _build(name):
+    index = SFCIndex(make_curve(name, SIDE, 2), page_capacity=8)
+    rng = np.random.default_rng(17)
+    points = rng.integers(0, SIDE, size=(5000, 2))
+    index.bulk_load(map(tuple, points))
+    index.flush()
+    return index
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    return {name: _build(name) for name in ("onion", "hilbert", "zorder")}
+
+
+@pytest.mark.parametrize("name", ["onion", "hilbert", "zorder"])
+def test_bench_large_range_query(benchmark, indexes, name):
+    result = benchmark(indexes[name].range_query, LARGE_RECT)
+    assert result.records
+
+
+@pytest.mark.parametrize("name", ["onion", "hilbert", "zorder"])
+def test_bench_small_range_query(benchmark, indexes, name):
+    benchmark(indexes[name].range_query, SMALL_RECT)
+
+
+def test_onion_needs_fewest_seeks_on_large_scans(indexes):
+    seeks = {name: idx.range_query(LARGE_RECT).seeks for name, idx in indexes.items()}
+    assert seeks["onion"] < seeks["hilbert"]
+    assert seeks["onion"] < seeks["zorder"]
+
+
+def test_bench_bulk_build(benchmark):
+    rng = np.random.default_rng(23)
+    points = [tuple(p) for p in rng.integers(0, SIDE, size=(2000, 2))]
+
+    def build():
+        index = SFCIndex(make_curve("onion", SIDE, 2), page_capacity=8)
+        index.bulk_load(points)
+        index.flush()
+        return index
+
+    benchmark(build)

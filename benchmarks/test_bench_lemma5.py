@@ -1,0 +1,27 @@
+"""Benchmark regenerating the Lemma 5 divergence measurement."""
+
+import math
+
+import pytest
+
+from repro.experiments import lemma5
+
+
+@pytest.mark.bench_experiment
+def test_bench_lemma5_2d(benchmark, scale, reports):
+    """c(Q, H) at least doubles per side doubling; onion flat."""
+    result = benchmark.pedantic(lemma5.run, args=(scale,), kwargs={"dim": 2}, rounds=1)
+    reports.append(result.render())
+    growth = [g for g in result.column("hilbert growth") if not math.isnan(g)]
+    assert all(g >= 2.0 for g in growth)
+    onion = result.column("onion")
+    assert max(onion) - min(onion) < 1.0
+
+
+@pytest.mark.bench_experiment
+def test_bench_lemma5_3d(benchmark, scale, reports):
+    """x4 growth per doubling in 3-d."""
+    result = benchmark.pedantic(lemma5.run, args=(scale,), kwargs={"dim": 3}, rounds=1)
+    reports.append(result.render())
+    growth = [g for g in result.column("hilbert growth") if not math.isnan(g)]
+    assert all(g >= 4.0 for g in growth)

@@ -1,0 +1,15 @@
+"""Benchmark regenerating the Lemma 10 rows-vs-columns impossibility."""
+
+import pytest
+
+from repro.experiments import rows_columns
+
+
+@pytest.mark.bench_experiment
+def test_bench_rows_columns(benchmark, scale, reports):
+    """Every curve averages >= sqrt(n)/2 over rows+columns."""
+    result = benchmark.pedantic(rows_columns.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    assert all(row[-1] == "yes" for row in result.rows)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["rowmajor"][1] == 1  # optimal on rows alone

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table I (approximation-ratio headline)."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.bench_experiment
+def test_bench_table1(benchmark, scale, reports):
+    """Table I: 2.32 / 3.4 for the onion curve; divergence for Hilbert."""
+    result = benchmark.pedantic(table1.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    rows = {r[0]: r for r in result.rows}
+
+    assert "2.319" in rows["onion 2d analytic max"][1]
+    assert "3.389" in rows["onion 3d analytic max"][1]
+
+    for quantity, row in rows.items():
+        if "hilbert 2d growth" in quantity:
+            assert all(float(v) >= 2.0 for v in row[1].split())
+        if "hilbert 3d growth" in quantity:
+            assert all(float(v) >= 4.0 for v in row[1].split())
+        if quantity.startswith("onion 2d at same cubes"):
+            values = [float(v) for v in row[1].split()]
+            assert max(values) - min(values) < 1.0

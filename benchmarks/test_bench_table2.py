@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table II (per-case near-cube ratios)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.mark.bench_experiment
+def test_bench_table2(benchmark, scale, reports):
+    """Table II: measured 2η' per near-cube case vs the paper's bounds."""
+    result = benchmark.pedantic(table2.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    assert len(result.rows) == 10
+    for row in result.rows:
+        label, _, eta_prime, two_eta, bound = row
+        assert eta_prime >= 1.0 - 1e-9, row
+        slack = 2.0 if ("psi" in label or "phi=0.75" in label) else 1.5
+        assert two_eta <= bound + slack, row

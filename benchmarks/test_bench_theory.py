@@ -1,0 +1,13 @@
+"""Benchmark validating the paper's closed forms against exact values."""
+
+import pytest
+
+from repro.experiments import theory_validation
+
+
+@pytest.mark.bench_experiment
+def test_bench_theory_validation(benchmark, scale, reports):
+    """Theorems 1/2/4/5 vs exact computation — every row must be OK."""
+    result = benchmark.pedantic(theory_validation.run, args=(scale,), rounds=1)
+    reports.append(result.render())
+    assert all(s == "OK" for s in result.column("status"))

@@ -1,0 +1,34 @@
+"""ASCII gallery of every registered curve on a small grid.
+
+Prints each curve's key assignment over an 8x8 universe (the layout the
+paper's Figures 1-3 draw), plus per-curve clustering numbers for the
+7x7 query of Figure 2.
+
+Run with::
+
+    python examples/curve_gallery.py
+"""
+
+from repro import Rect, clustering_number, curve_names, make_curve
+from repro.visualize import render_keys
+
+SIDE = 8
+
+
+def main() -> None:
+    for name in curve_names():
+        if name in ("z", "onion-nd"):  # aliases / duplicates of shown curves
+            continue
+        side = 9 if name == "peano" else SIDE  # Peano needs a power of 3
+        curve = make_curve(name, side, 2)
+        # Figure 2's near-full square query, scaled to the curve's side.
+        query = Rect.from_origin((0, 1), (side - 1, side - 1))
+        clusters = clustering_number(curve, query)
+        print(f"--- {curve.name} (continuous={curve.is_continuous}, "
+              f"clusters of the near-full query: {clusters}) ---")
+        print(render_keys(curve))
+        print()
+
+
+if __name__ == "__main__":
+    main()

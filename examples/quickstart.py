@@ -1,0 +1,52 @@
+"""Quickstart: curves, clustering numbers and an indexed range query.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Rect, SFCIndex, clustering_number, make_curve, query_runs
+
+
+def main() -> None:
+    side = 64
+
+    # 1. Build curves over a 64x64 universe and map a few cells.
+    onion = make_curve("onion", side, 2)
+    hilbert = make_curve("hilbert", side, 2)
+    zorder = make_curve("zorder", side, 2)
+    cell = (10, 20)
+    print("keys of cell", cell)
+    for curve in (onion, hilbert, zorder):
+        key = curve.index(cell)
+        assert curve.point(key) == cell
+        print(f"  {curve.name:>8}: {key}")
+
+    # 2. Clustering number of a large square query (the paper's headline
+    #    scenario: near-full cubes are where the onion curve shines).
+    query = Rect.from_origin((3, 2), (56, 56))
+    print(f"\nclusters of a 56x56 query in the {side}x{side} universe")
+    for curve in (onion, hilbert, zorder):
+        print(f"  {curve.name:>8}: {clustering_number(curve, query)}")
+
+    # 3. The actual key runs behind those clusters (what an index scans).
+    runs = query_runs(onion, query)
+    print(f"\nonion key runs (first 5 of {len(runs)}): {runs[:5]}")
+
+    # 4. An indexed range query with disk-seek accounting.
+    index = SFCIndex(onion, page_capacity=16)
+    for x in range(0, side, 2):
+        for y in range(0, side, 2):
+            index.insert((x, y), payload=f"sensor-{x}-{y}")
+    index.flush()
+    result = index.range_query(query)
+    print(
+        f"\nindexed range query: {len(result.records)} records, "
+        f"{result.runs} runs, {result.seeks} seeks, "
+        f"{result.sequential_reads} sequential reads, "
+        f"simulated cost {result.cost():.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

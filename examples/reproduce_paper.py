@@ -1,0 +1,45 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``python -m repro.experiments all``; written as a script to
+show the experiment API.  Pass a scale name (``ci``, ``small``,
+``paper``) as the first argument.
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+"""
+
+import sys
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    get_scale,
+    lemma5,
+    rows_columns,
+    table1,
+    table2,
+    theory_validation,
+)
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else "")
+    print(f"scale: {scale.name} (2-d side {scale.side_2d}, 3-d side {scale.side_3d})\n")
+    for module in (fig1, fig2):
+        print(module.run(scale).render())
+        print()
+    for module in (fig5, fig6, fig7, lemma5):
+        for dim in (2, 3):
+            print(module.run(scale, dim=dim).render())
+            print()
+    for module in (table1, table2, rows_columns, theory_validation):
+        print(module.run(scale).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

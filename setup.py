@@ -1,0 +1,6 @@
+"""Legacy setup shim (the offline environment lacks the ``wheel`` package,
+so PEP 517 editable installs are unavailable; ``setup.py develop`` works)."""
+
+from setuptools import setup
+
+setup()

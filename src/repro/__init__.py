@@ -1,0 +1,72 @@
+"""repro — reproduction of "Onion Curve: A Space Filling Curve with
+Near-Optimal Clustering" (Xu, Nguyen, Tirthapura; ICDE 2018).
+
+The package provides:
+
+* :mod:`repro.curves` — the onion curve (2-d, 3-d, and the n-d extension)
+  plus the Hilbert, Z, Gray-code, row/column-major and snake baselines;
+* :mod:`repro.core` — exact clustering-number computation, query
+  generators and range-query planning;
+* :mod:`repro.analysis` — the paper's closed forms (Theorems 1–6,
+  Lemmas 7–8), exact O(n) averages, lower bounds and approximation ratios;
+* :mod:`repro.storage` / :mod:`repro.index` — a simulated disk, B+-tree
+  and SFC-keyed spatial index that turn clustering numbers into seeks;
+* :mod:`repro.experiments` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro import make_curve, Rect, clustering_number
+    onion = make_curve("onion", side=64, dim=2)
+    hilbert = make_curve("hilbert", side=64, dim=2)
+    query = Rect.from_origin((10, 10), (40, 40))
+    clustering_number(onion, query), clustering_number(hilbert, query)
+"""
+
+from .curves import (
+    ColumnMajorCurve,
+    GrayCodeCurve,
+    HilbertCurve,
+    OnionCurve2D,
+    OnionCurve3D,
+    OnionCurveND,
+    RowMajorCurve,
+    SnakeCurve,
+    SpaceFillingCurve,
+    ZOrderCurve,
+    curve_names,
+    make_curve,
+)
+from .core import (
+    average_clustering,
+    clustering_distribution,
+    clustering_number,
+    query_runs,
+)
+from .errors import ReproError
+from .geometry import Rect
+from .index import SFCIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpaceFillingCurve",
+    "OnionCurve2D",
+    "OnionCurve3D",
+    "OnionCurveND",
+    "HilbertCurve",
+    "ZOrderCurve",
+    "GrayCodeCurve",
+    "RowMajorCurve",
+    "ColumnMajorCurve",
+    "SnakeCurve",
+    "make_curve",
+    "curve_names",
+    "Rect",
+    "clustering_number",
+    "clustering_distribution",
+    "average_clustering",
+    "query_runs",
+    "SFCIndex",
+    "ReproError",
+    "__version__",
+]

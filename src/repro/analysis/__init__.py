@@ -1,0 +1,73 @@
+"""Closed forms and exact computations behind the paper's theorems."""
+
+from .distribution import exact_cluster_distribution
+from .exact import exact_average_clustering, total_edge_crossings
+from .hilbert_gap import ScalingRow, growth_ratios, scaling_experiment
+from .stretch import (
+    StretchReport,
+    gotsman_lindenbaum_stretch,
+    neighbor_stretch,
+)
+from .moon import moon_limit, surface_area
+from .lower_bounds import (
+    lambda_map,
+    lemma7_lambda,
+    lemma8_t_closed,
+    lower_bound_any,
+    lower_bound_continuous,
+    t_sum,
+    theorem2_lb,
+    theorem5_lb_3d,
+)
+from .ratios import (
+    ETA_BOUND_2D,
+    ETA_BOUND_3D,
+    PHI_STAR_2D,
+    PHI_STAR_3D,
+    eta_cube_2d,
+    eta_cube_3d,
+    eta_sweep,
+    maximize_eta_2d,
+    maximize_eta_3d,
+    measured_eta,
+    measured_eta_continuous,
+)
+from .theory2d import near_cube_estimate, theorem1_value
+from .theory3d import theorem4_is_upper_bound, theorem4_value
+
+__all__ = [
+    "exact_cluster_distribution",
+    "exact_average_clustering",
+    "total_edge_crossings",
+    "StretchReport",
+    "gotsman_lindenbaum_stretch",
+    "neighbor_stretch",
+    "moon_limit",
+    "surface_area",
+    "ScalingRow",
+    "growth_ratios",
+    "scaling_experiment",
+    "lambda_map",
+    "lemma7_lambda",
+    "lemma8_t_closed",
+    "lower_bound_any",
+    "lower_bound_continuous",
+    "t_sum",
+    "theorem2_lb",
+    "theorem5_lb_3d",
+    "ETA_BOUND_2D",
+    "ETA_BOUND_3D",
+    "PHI_STAR_2D",
+    "PHI_STAR_3D",
+    "eta_cube_2d",
+    "eta_cube_3d",
+    "eta_sweep",
+    "maximize_eta_2d",
+    "maximize_eta_3d",
+    "measured_eta",
+    "measured_eta_continuous",
+    "near_cube_estimate",
+    "theorem1_value",
+    "theorem4_is_upper_bound",
+    "theorem4_value",
+]

@@ -1,0 +1,248 @@
+"""Lower bounds on the clustering number of any SFC (Sections V and VI).
+
+Two layers are provided:
+
+* **Numeric ground truth.**  ``λ(Q, α)`` (Definition 2: the minimum
+  crossing count over the cell's neighbor edges) is computed exactly for
+  every cell with the closed-form ``γ``, giving
+  ``T = Σ_α λ(Q, α)`` by direct vectorized summation in any dimension.
+  The paper's Theorem 2 proof then yields, for every *continuous* SFC,
+
+      ``c(Q, π) ≥ (T − λ_max) / (2|Q|)``
+
+  and Theorem 3 halves that for arbitrary SFCs.  Being definitional,
+  these functions serve as the reference that the paper's closed forms
+  are tested against.
+
+* **Closed forms.**  Lemma 7 (the 2-d ``λ(i, j)`` case formula), Lemma 8
+  (the exact 2-d ``T``), Theorem 2 (the 2-d ``LB``) and Theorem 5 (3-d)
+  as printed in the paper.  One transcription note: the source text of
+  Theorem 5 prints the last bracket term as ``3m²ℓ²``; dimensional
+  analysis and consistency with the paper's own Section VI-C ratio
+  expression (whose maximum is 3.4 at φ = 0.3967) require ``3m²ℓ³``,
+  which is what we implement — the tests confirm it against the numeric
+  ``T``.
+
+Validation notes (established by this reproduction's tests):
+
+* In the small regime ``ℓ₂ ≤ m``, Lemma 7 matches the definitional ``λ``
+  cell-for-cell, and Lemma 8 tracks the direct ``T`` up to an additive
+  ``m − 3`` (inside the paper's own ``o(nℓ₁)`` slack).
+* In the large regime ``ℓ₁ > m``, Lemma 7 *overcounts* some cells: the
+  paper argues the minimum is attained at the left/down neighbor, but
+  for ``ℓ > m`` interior edges along the long axis are contained in
+  every placement (``γ = 0``), so the up/right neighbor can achieve 0.
+  Consequently Lemma 8's large-regime ``T`` exceeds the definitional
+  sum.  The numeric functions below always use the definition, so the
+  bounds they certify are valid (if slightly weaker than the paper
+  claims in that regime); the measured onion curve still meets the
+  paper's ratio constants — see ``repro.analysis.ratios``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..curves.base import SpaceFillingCurve
+from ..errors import InvalidQueryError
+from ..core.edges import gamma_pair_many
+from ..geometry import num_translations
+
+__all__ = [
+    "lambda_map",
+    "t_sum",
+    "lower_bound_continuous",
+    "lower_bound_any",
+    "lemma7_lambda",
+    "lemma8_t_closed",
+    "theorem2_lb",
+    "theorem5_lb_3d",
+]
+
+
+def _grid_cells(side: int, dim: int) -> np.ndarray:
+    axes = [np.arange(side, dtype=np.int64)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+def lambda_map(side: int, lengths: Sequence[int]) -> np.ndarray:
+    """``λ(Q, α)`` for every cell of the grid, as a flat int64 array.
+
+    Cells are in row-major (meshgrid ``ij``) order over the coordinates.
+    Exact in any dimension: for each axis and direction the neighbor-edge
+    ``γ`` is evaluated in closed form and the minimum over existing
+    neighbors is taken.
+    """
+    lengths = tuple(int(l) for l in lengths)
+    dim = len(lengths)
+    cells = _grid_cells(side, dim)
+    best = np.full(cells.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
+    for axis in range(dim):
+        for direction in (-1, +1):
+            neighbor = cells.copy()
+            neighbor[:, axis] += direction
+            valid = (neighbor[:, axis] >= 0) & (neighbor[:, axis] < side)
+            if not valid.any():
+                continue
+            gammas = gamma_pair_many(side, lengths, cells[valid], neighbor[valid])
+            best[valid] = np.minimum(best[valid], gammas)
+    return best
+
+
+def t_sum(side: int, lengths: Sequence[int]) -> int:
+    """``T = Σ_α λ(Q, α)`` by direct summation (numeric ground truth)."""
+    return int(lambda_map(side, lengths).sum())
+
+
+def lower_bound_continuous(side: int, lengths: Sequence[int]) -> float:
+    """Theorem 2 (numeric form): ``c(Q, π) ≥ (T − λ_max) / (2|Q|)``
+    for every continuous SFC ``π``."""
+    lam = lambda_map(side, lengths)
+    size = num_translations(side, lengths)
+    if size == 0:
+        raise InvalidQueryError(f"lengths {lengths} do not fit side {side}")
+    return float(lam.sum() - lam.max()) / (2.0 * size)
+
+
+def lower_bound_any(side: int, lengths: Sequence[int]) -> float:
+    """Theorem 3 / Theorem 6 (numeric form): half the continuous bound
+    holds for an arbitrary SFC."""
+    return 0.5 * lower_bound_continuous(side, lengths)
+
+
+# ----------------------------------------------------------------------
+# The paper's 2-d closed forms
+# ----------------------------------------------------------------------
+def _check_2d(side: int, lengths: Sequence[int]) -> Tuple[int, int, int]:
+    if len(lengths) != 2:
+        raise InvalidQueryError(f"2-d closed form needs two lengths, got {lengths}")
+    l1, l2 = sorted(int(l) for l in lengths)
+    if side % 2:
+        raise InvalidQueryError("the paper's closed forms assume an even side")
+    return l1, l2, side // 2
+
+
+def lemma7_lambda(side: int, lengths: Sequence[int], i: int, j: int) -> int:
+    """Lemma 7: ``λ(i, j)`` on the quadrant ``0 ≤ i, j ≤ m − 1``.
+
+    Defined for ``ℓ₂ ≤ m`` or ``ℓ₁ > m`` (the paper's two regimes).
+    ``lengths`` must be given as ``(ℓ₁, ℓ₂)`` with ``ℓ₁ ≤ ℓ₂``.
+    """
+    l1, l2, m = _check_2d(side, lengths)
+    if not (0 <= i < m and 0 <= j < m):
+        raise InvalidQueryError(f"(i, j) = {(i, j)} outside the quadrant")
+
+    def tau(k: int, length: int) -> int:
+        return min(k + 1, length, 2 * m + 1 - length)
+
+    def h1(t: int, length: int) -> int:
+        return 1 if t <= length - 1 else 2
+
+    def h2(t: int, length: int) -> int:
+        return 1 if t <= side - length else 0
+
+    if l2 <= m:
+        return min(h1(i, l1) * tau(j, l2), h1(j, l2) * tau(i, l1))
+    if l1 > m:
+        return min(h2(i, l1) * tau(j, l2), h2(j, l2) * tau(i, l1))
+    raise InvalidQueryError(
+        f"Lemma 7 does not cover the mixed regime ℓ₁ ≤ m < ℓ₂ for {lengths}"
+    )
+
+
+def lemma8_t_closed(side: int, lengths: Sequence[int]) -> float:
+    """Lemma 8: the exact closed form of ``T`` in two dimensions."""
+    l1, l2, m = _check_2d(side, lengths)
+    if l2 <= m:
+        if l1 <= l2 / 2:
+            return 4 * (
+                l1 / 6
+                - l1**2 / 2
+                + l1**3 / 12
+                - l1 * l2 / 2
+                + l1**2 * l2 / 2
+                + 3 * l1 * m / 2
+                - 5 * l1**2 * m / 4
+                - l1 * l2 * m
+                + 2 * l1 * m**2
+            )
+        return 4 * (
+            l1 / 6
+            - l1**2 / 2
+            + l1**3 / 12
+            + l1 * l2 / 2
+            + 3 * l1**2 * l2 / 2
+            - l2**2 / 2
+            - l1 * l2**2
+            + l2**3 / 4
+            + l1 * m / 2
+            - 9 * l1**2 * m / 4
+            + l2 * m / 2
+            - l2**2 * m / 4
+            + 2 * l1 * m**2
+        )
+    if l1 > m:
+        big_l1 = side - l1 + 1
+        big_l2 = side - l2 + 1
+        return (2.0 / 3.0) * (1 + 3 * big_l1 - big_l2) * big_l2 * (1 + big_l2)
+    raise InvalidQueryError(
+        f"Lemma 8 does not cover the mixed regime ℓ₁ ≤ m < ℓ₂ for {lengths}"
+    )
+
+
+def theorem2_lb(side: int, lengths: Sequence[int]) -> float:
+    """Theorem 2: closed-form 2-d lower bound for continuous SFCs.
+
+    Uses the exact ``O(√n ℓ₁ℓ₂)`` expansions the paper spells out (the
+    ``o(nℓ₁)`` residue is dropped, so this is the asymptotic form; the
+    exact value is :func:`lower_bound_continuous`).
+    """
+    l1, l2, m = _check_2d(side, lengths)
+    n = side * side
+    big_l1 = side - l1 + 1
+    big_l2 = side - l2 + 1
+    if l2 <= m:
+        if l1 <= l2 / 2:
+            correction = (
+                -side * (l1 * l2 + 1.25 * l1**2) + l1**2 * l2 + l1**3 / 6
+            )
+        else:
+            correction = (
+                -side / 4 * (9 * l1**2 + l2**2)
+                + l1**3 / 6
+                + 3 * l1**2 * l2
+                - 2 * l1 * l2**2
+                + l2**3 / 2
+            )
+        return (n * l1 + correction) / (big_l1 * big_l2)
+    if l1 > m:
+        return big_l2 - big_l2**2 / (3.0 * big_l1)
+    raise InvalidQueryError(
+        f"Theorem 2's closed form does not cover ℓ₁ ≤ m < ℓ₂ for {lengths}"
+    )
+
+
+def theorem5_lb_3d(side: int, length: int) -> float:
+    """Theorem 5: closed-form 3-d lower bound for continuous SFCs.
+
+    Implements the transcription-corrected bracket
+    ``29/40·ℓ⁵ + 15/8·m·ℓ⁴ − 3·m²·ℓ³`` (see module docstring).
+    """
+    length = int(length)
+    if side % 2:
+        raise InvalidQueryError("the paper's closed forms assume an even side")
+    m = side // 2
+    big_l = side - length + 1
+    if 2 <= length <= m:
+        bracket = (
+            29.0 / 40.0 * length**5
+            + 15.0 / 8.0 * m * length**4
+            - 3.0 * m**2 * length**3
+        )
+        return length**2 + bracket / big_l**3
+    if length > m:
+        return 0.6 * big_l**2 - 1.5 * big_l
+    raise InvalidQueryError(f"length {length} outside Theorem 5's range")

@@ -1,0 +1,60 @@
+"""Moon et al.'s asymptotic clustering law for constant-size queries.
+
+The paper's related work (its refs [11], [13]): for a query shape of
+*constant* size, the average clustering number of the Hilbert curve —
+and, by the generalization in [13], of **every** continuous SFC — tends
+to the query's surface area divided by ``2d`` as the universe grows.
+This is also why the paper's Table II case µ = 0 reads "1": all
+continuous curves, the onion included, are asymptotically optimal there.
+
+For a rect with side lengths ``ℓ``, the (outer) surface area is
+``Σ_i 2·Π_{j≠i} ℓ_j``, so the law reads
+
+    ``c(Q, π) → (1/d) · Σ_i Π_{j≠i} ℓ_j``.
+
+``moon_limit`` evaluates the law; the tests verify that the Hilbert,
+onion and Peano curves converge to it (and the discontinuous Z curve
+does not, exceeding it — continuity is necessary).
+
+A measured subtlety worth recording: for *non-cubic* constant shapes the
+``SA/2d`` limit additionally requires the curve's edges to be equally
+distributed over the axis directions.  The Hilbert, onion and Peano
+curves are direction-balanced and hit ``SA/2d`` for every shape; the
+snake curve's edges run almost entirely along axis 0, so its limit for a
+``ℓ₁×ℓ₂`` query is ``ℓ₂`` (the per-edge crossing count of its dominant
+direction) — equal to ``SA/2d`` only for squares.  The tests pin both
+behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import InvalidQueryError
+
+__all__ = ["moon_limit", "surface_area"]
+
+
+def surface_area(lengths: Sequence[int]) -> int:
+    """Outer surface area of a box: ``Σ_i 2·Π_{j≠i} ℓ_j``."""
+    lengths = [int(l) for l in lengths]
+    if not lengths or any(l < 1 for l in lengths):
+        raise InvalidQueryError(f"lengths must be positive, got {lengths}")
+    total = 0
+    for i in range(len(lengths)):
+        face = 1
+        for j, l in enumerate(lengths):
+            if j != i:
+                face *= l
+        total += 2 * face
+    return total
+
+
+def moon_limit(lengths: Sequence[int]) -> float:
+    """The large-universe limit of ``c(Q, π)`` for any continuous SFC.
+
+    ``surface_area / (2·d)`` — Moon et al. for the Hilbert curve, Xu &
+    Tirthapura (TODS 2014) for all continuous curves.
+    """
+    lengths = [int(l) for l in lengths]
+    return surface_area(lengths) / (2.0 * len(lengths))

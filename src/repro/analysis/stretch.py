@@ -1,0 +1,90 @@
+"""Metric properties of SFCs beyond clustering: the stretch of a curve.
+
+The paper's related work cites Gotsman & Lindenbaum (1996), who study the
+*stretch* of a curve — how far apart in the grid two keys that are close
+on the curve can land.  This matters for near-neighbor applications (the
+dual concern to clustering).  Two standard quantities:
+
+* ``neighbor_stretch``: the grid distance between consecutive keys;
+  exactly 1 everywhere for continuous curves, and the size of the worst
+  jump otherwise.
+* ``gotsman_lindenbaum_stretch``: ``max d_grid(π⁻¹(i), π⁻¹(j))^dim /
+  |i − j|`` over key pairs — the curve-to-grid locality ratio.  Gotsman &
+  Lindenbaum prove it is at least ``(2^dim − 1)``-ish for any 2-d curve
+  and bounded for the Hilbert curve; row-major order has Θ(n) stretch.
+
+These complement the clustering metric: the onion curve trades some
+stretch (its last layers are far from its first) for near-optimal
+clustering — quantified by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..curves.base import SpaceFillingCurve
+
+__all__ = ["StretchReport", "neighbor_stretch", "gotsman_lindenbaum_stretch"]
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Worst and average case of a stretch statistic."""
+
+    worst: float
+    average: float
+
+
+def neighbor_stretch(curve: SpaceFillingCurve, batch_size: int = 1 << 20) -> StretchReport:
+    """L1 grid distance between consecutive keys (exact, O(n)).
+
+    ``worst == average == 1`` characterizes continuous curves.
+    """
+    n = curve.size
+    total = 0
+    worst = 0
+    previous_tail = None
+    for start in range(0, n, batch_size):
+        stop = min(start + batch_size, n)
+        cells = curve.point_many(np.arange(start, stop, dtype=np.int64))
+        if previous_tail is not None:
+            cells = np.concatenate([previous_tail, cells], axis=0)
+        if cells.shape[0] >= 2:
+            steps = np.abs(np.diff(cells, axis=0)).sum(axis=1)
+            total += int(steps.sum())
+            worst = max(worst, int(steps.max()))
+        previous_tail = cells[-1:].copy()
+    return StretchReport(worst=float(worst), average=total / (n - 1))
+
+
+def gotsman_lindenbaum_stretch(
+    curve: SpaceFillingCurve,
+    sample_pairs: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
+    exhaustive_limit: int = 4096,
+) -> StretchReport:
+    """``d_grid(a, b)^dim / |π(a) − π(b)|`` over key pairs.
+
+    Exhaustive over all pairs when ``n <= exhaustive_limit``, otherwise a
+    uniform sample of ``sample_pairs`` distinct key pairs.  Distances are
+    Euclidean, matching Gotsman & Lindenbaum's definition.
+    """
+    n = curve.size
+    dim = curve.dim
+    if n <= exhaustive_limit:
+        keys_a, keys_b = np.triu_indices(n, k=1)
+    else:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        keys_a = rng.integers(0, n, size=sample_pairs)
+        keys_b = rng.integers(0, n, size=sample_pairs)
+        distinct = keys_a != keys_b
+        keys_a, keys_b = keys_a[distinct], keys_b[distinct]
+    cells_a = curve.point_many(np.asarray(keys_a, dtype=np.int64))
+    cells_b = curve.point_many(np.asarray(keys_b, dtype=np.int64))
+    grid = np.sqrt(((cells_a - cells_b) ** 2).sum(axis=1).astype(np.float64))
+    key_gap = np.abs(np.asarray(keys_a, dtype=np.float64) - np.asarray(keys_b))
+    ratios = grid**dim / key_gap
+    return StretchReport(worst=float(ratios.max()), average=float(ratios.mean()))

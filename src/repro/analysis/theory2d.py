@@ -1,0 +1,67 @@
+"""Theorem 1: closed forms for the 2-d onion curve's average clustering.
+
+``theorem1_value`` returns the paper's estimate together with the paper's
+stated tolerance on the bounded error term (``|ε₁| ≤ 5`` in the small
+regime, ``|ε₂| ≤ 2`` in the large one), so tests can assert
+
+    ``|exact − value| ≤ tol``
+
+against the exact O(n) computation of :mod:`repro.analysis.exact`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import InvalidQueryError
+
+__all__ = ["theorem1_value", "near_cube_estimate"]
+
+
+def theorem1_value(side: int, lengths: Sequence[int]) -> Tuple[float, float]:
+    """``(estimate, tolerance)`` of ``c(Q, O)`` per Theorem 1.
+
+    ``lengths`` is any order of ``(ℓ₁, ℓ₂)``; the onion curve is nearly
+    symmetric in the two dimensions, so they are sorted internally.
+    The mixed regime ``ℓ₁ ≤ m < ℓ₂`` is not covered by the theorem
+    (see :func:`near_cube_estimate` for the paper's remark) and raises.
+    """
+    if len(lengths) != 2:
+        raise InvalidQueryError(f"Theorem 1 is 2-d, got lengths {lengths}")
+    if side % 2:
+        raise InvalidQueryError("Theorem 1 assumes an even side")
+    l1, l2 = sorted(int(l) for l in lengths)
+    m = side // 2
+    big_l1 = side - l1 + 1
+    big_l2 = side - l2 + 1
+    if l2 <= m:
+        bulk = (
+            (2.0 / 3.0) * l2**3
+            - 3.5 * l1 * l2**2
+            + 2.5 * l1**2 * l2
+            - m * (l2 - l1) * (l2 - 3 * l1)
+        )
+        return 0.5 * (l1 + l2) + bulk / (big_l1 * big_l2), 5.0
+    if l1 > m:
+        return big_l1 - big_l2 + (2.0 / 3.0) * big_l2**2 / big_l1, 2.0
+    raise InvalidQueryError(
+        f"Theorem 1 does not cover the mixed regime ℓ₁ ≤ m < ℓ₂ for {lengths}"
+    )
+
+
+def near_cube_estimate(side: int, lengths: Sequence[int]) -> Tuple[float, float]:
+    """The paper's near-cube remark: for ``ℓ₁ = m + ψ₁ ≤ m ≤ ℓ₂ = m + ψ₂``
+    the set is within O(1) of the cube ``Q(m, m)``, whose Theorem 1 value
+    is ``~ 2m/3``.
+
+    Returns ``(2m/3, tol)`` where the tolerance grows with the distance of
+    the lengths from ``m`` (a constant per unit of side-length change, as
+    argued in the paper's remark; we charge 2 per unit plus the theorem's
+    own slack).
+    """
+    if len(lengths) != 2:
+        raise InvalidQueryError(f"near-cube estimate is 2-d, got {lengths}")
+    l1, l2 = sorted(int(l) for l in lengths)
+    m = side // 2
+    slack = 5.0 + 2.0 * (abs(l1 - m) + abs(l2 - m))
+    return 2.0 * m / 3.0, slack

@@ -1,0 +1,36 @@
+"""Theorem 4: closed forms for the 3-d onion curve's average clustering.
+
+The small-cube regime carries an ``o(ℓ²)`` residue the paper does not
+quantify; ``theorem4_value`` therefore returns the leading expression and
+tests assert *relative* closeness against the exact computation (the
+residue vanishes as the universe grows).  The large-cube regime is an
+explicit upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import InvalidQueryError
+
+__all__ = ["theorem4_value", "theorem4_is_upper_bound"]
+
+
+def theorem4_value(side: int, length: int) -> float:
+    """Theorem 4's estimate of ``c(Q(ℓ), O)`` for 3-d cube query sets."""
+    length = int(length)
+    if side % 2:
+        raise InvalidQueryError("Theorem 4 assumes an even side")
+    m = side // 2
+    big_l = side - length + 1
+    if length < 1 or length > side:
+        raise InvalidQueryError(f"length {length} does not fit side {side}")
+    if length <= m:
+        return length**2 - 0.4 * length**5 / big_l**3
+    return 0.6 * big_l**2 + 3.25 * big_l - 13.0 / 6.0
+
+
+def theorem4_is_upper_bound(side: int, length: int) -> bool:
+    """True when Theorem 4's expression is stated as an inequality
+    (the ``ℓ > m`` regime) rather than an asymptotic equality."""
+    return int(length) > side // 2

@@ -1,0 +1,103 @@
+"""Top-level command line interface: ``python -m repro <command>``.
+
+Commands::
+
+    curves                                list registered curves
+    key    --curve NAME --side S  X Y …   cell -> curve key
+    cell   --curve NAME --side S  KEY     curve key -> cell
+    cluster --curve NAME --side S --lo x,y --hi x,y
+                                          clustering number + key runs
+    render --curve NAME --side S [--mode keys|path]
+                                          ASCII picture of the curve
+    experiments …                         the experiment harness
+                                          (see ``python -m repro.experiments``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core.clustering import clustering_number
+from .core.runs import query_runs
+from .curves import curve_names, make_curve
+from .experiments.cli import main as experiments_main
+from .geometry import Rect
+from .visualize import render_clusters, render_keys, render_path
+
+__all__ = ["main"]
+
+
+def _parse_cell(text: str) -> tuple:
+    return tuple(int(v) for v in text.split(","))
+
+
+def _add_curve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--curve", default="onion", choices=curve_names())
+    parser.add_argument("--side", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=2)
+
+
+def main(argv: List[str] = None) -> int:
+    """Dispatch the top-level CLI."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        return experiments_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Onion-curve reproduction toolkit."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("curves", help="list registered curves")
+
+    key_p = sub.add_parser("key", help="map a cell to its curve key")
+    _add_curve_args(key_p)
+    key_p.add_argument("coordinates", type=int, nargs="+")
+
+    cell_p = sub.add_parser("cell", help="map a curve key to its cell")
+    _add_curve_args(cell_p)
+    cell_p.add_argument("key", type=int)
+
+    cluster_p = sub.add_parser("cluster", help="clustering number of a rect")
+    _add_curve_args(cluster_p)
+    cluster_p.add_argument("--lo", type=_parse_cell, required=True)
+    cluster_p.add_argument("--hi", type=_parse_cell, required=True)
+    cluster_p.add_argument("--runs", action="store_true", help="print key runs")
+    cluster_p.add_argument(
+        "--draw", action="store_true", help="draw the cluster map (2-d only)"
+    )
+
+    render_p = sub.add_parser("render", help="ASCII picture of a curve")
+    _add_curve_args(render_p)
+    render_p.add_argument("--mode", choices=("keys", "path"), default="keys")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "curves":
+        for name in curve_names():
+            print(name)
+        return 0
+
+    curve = make_curve(args.curve, args.side, args.dim)
+    if args.command == "key":
+        print(curve.index(tuple(args.coordinates)))
+        return 0
+    if args.command == "cell":
+        print(",".join(str(c) for c in curve.point(args.key)))
+        return 0
+    if args.command == "cluster":
+        rect = Rect(args.lo, args.hi)
+        print(f"clusters: {clustering_number(curve, rect)}")
+        if args.runs:
+            for start, end in query_runs(curve, rect):
+                print(f"  run [{start}, {end}]")
+        if args.draw:
+            print(render_clusters(curve, rect))
+        return 0
+    if args.command == "render":
+        renderer = render_keys if args.mode == "keys" else render_path
+        print(renderer(curve))
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,56 @@
+"""Clustering machinery: queries, cluster counting, run decomposition."""
+
+from .clustering import (
+    average_clustering,
+    boundary_cells_array,
+    clustering_distribution,
+    clustering_number,
+    clustering_number_boundary,
+    clustering_number_exhaustive,
+    clustering_number_prefix,
+)
+from .edges import (
+    gamma_neighbor_lemma2,
+    gamma_pair,
+    gamma_pair_many,
+    placements_containing,
+    placements_containing_many,
+)
+from .prefix_ranges import block_ranges, merge_ranges
+from .queries import (
+    columns_query_set,
+    fixed_ratio_rects,
+    num_translations,
+    random_corner_rects,
+    random_cubes,
+    random_rects,
+    rows_query_set,
+    translation_query_set,
+)
+from .runs import query_runs
+
+__all__ = [
+    "average_clustering",
+    "boundary_cells_array",
+    "clustering_distribution",
+    "clustering_number",
+    "clustering_number_boundary",
+    "clustering_number_exhaustive",
+    "clustering_number_prefix",
+    "gamma_neighbor_lemma2",
+    "gamma_pair",
+    "gamma_pair_many",
+    "placements_containing",
+    "placements_containing_many",
+    "block_ranges",
+    "merge_ranges",
+    "columns_query_set",
+    "fixed_ratio_rects",
+    "num_translations",
+    "random_corner_rects",
+    "random_cubes",
+    "random_rects",
+    "rows_query_set",
+    "translation_query_set",
+    "query_runs",
+]

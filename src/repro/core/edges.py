@@ -1,0 +1,159 @@
+"""Crossing-edge counting: Lemma 1, Lemma 2 and their generalization.
+
+For a directed edge ``e = (α, β)`` and the translation query set ``Q`` of a
+rect with side lengths ``ℓ``, the paper defines ``γ(Q, e)`` as the number
+of placements of the query crossed by ``e`` (entered or left).  Lemma 2
+gives a per-axis product formula for *neighbor* edges; this module also
+implements the exact inclusion–exclusion generalization that works for an
+edge between **any** two cells:
+
+    ``γ(Q, e) = |A| + |B| − 2|A∩B|``
+
+where ``A``/``B`` are the placements containing ``α``/``β``.  Each count
+factors per dimension, so everything is a closed form.  The general form
+is what lets :mod:`repro.analysis.exact` compute exact average clustering
+numbers for *discontinuous* curves (Z, Gray, the 3-D onion with its piece
+jumps) as well as continuous ones.
+
+Together with Lemma 1,
+
+    ``c(Q, π) = (γ(Q, E(π)) + I(Q, π_s) + I(Q, π_e)) / (2|Q|)``,
+
+this yields the exact average clustering number over all translations in
+O(n) work, with no sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidQueryError
+from ..geometry import Cell
+
+__all__ = [
+    "placements_containing",
+    "placements_containing_many",
+    "gamma_pair",
+    "gamma_pair_many",
+    "gamma_neighbor_lemma2",
+]
+
+
+def _check_lengths(side: int, lengths: Sequence[int]) -> Tuple[int, ...]:
+    lengths = tuple(int(l) for l in lengths)
+    for length in lengths:
+        if not 1 <= length <= side:
+            raise InvalidQueryError(f"length {length} does not fit side {side}")
+    return lengths
+
+
+def placements_containing(side: int, lengths: Sequence[int], cell: Cell) -> int:
+    """``I(Q, α)``: number of translations of the query containing ``cell``.
+
+    Per dimension the feasible origins are
+    ``max(0, c − ℓ + 1) … min(c, side − ℓ)``; the counts multiply.
+    """
+    lengths = _check_lengths(side, lengths)
+    count = 1
+    for c, length in zip(cell, lengths):
+        lo = max(0, int(c) - length + 1)
+        hi = min(int(c), side - length)
+        count *= max(0, hi - lo + 1)
+    return count
+
+
+def placements_containing_many(
+    side: int, lengths: Sequence[int], cells: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`placements_containing` over an ``(n, d)`` array."""
+    lengths = _check_lengths(side, lengths)
+    cells = np.asarray(cells, dtype=np.int64)
+    count = np.ones(cells.shape[0], dtype=np.int64)
+    for axis, length in enumerate(lengths):
+        c = cells[:, axis]
+        lo = np.maximum(0, c - length + 1)
+        hi = np.minimum(c, side - length)
+        count *= np.maximum(0, hi - lo + 1)
+    return count
+
+
+def _pair_axis_count(a: np.ndarray, b: np.ndarray, side: int, length: int) -> np.ndarray:
+    """Per-axis count of origins covering both coordinates ``a`` and ``b``."""
+    lo = np.maximum(0, np.maximum(a, b) - length + 1)
+    hi = np.minimum(np.minimum(a, b), side - length)
+    return np.maximum(0, hi - lo + 1)
+
+
+def gamma_pair(side: int, lengths: Sequence[int], alpha: Cell, beta: Cell) -> int:
+    """Exact ``γ(Q, (α, β))`` for an arbitrary (possibly non-neighbor) edge."""
+    lengths = _check_lengths(side, lengths)
+    in_a = 1
+    in_b = 1
+    in_both = 1
+    for a, b, length in zip(alpha, beta, lengths):
+        a, b = int(a), int(b)
+        in_a *= max(0, min(a, side - length) - max(0, a - length + 1) + 1)
+        in_b *= max(0, min(b, side - length) - max(0, b - length + 1) + 1)
+        lo = max(0, max(a, b) - length + 1)
+        hi = min(min(a, b), side - length)
+        in_both *= max(0, hi - lo + 1)
+    return in_a + in_b - 2 * in_both
+
+
+def gamma_pair_many(
+    side: int, lengths: Sequence[int], alphas: np.ndarray, betas: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`gamma_pair` over ``(n, d)`` arrays of endpoints."""
+    lengths = _check_lengths(side, lengths)
+    alphas = np.asarray(alphas, dtype=np.int64)
+    betas = np.asarray(betas, dtype=np.int64)
+    in_a = np.ones(alphas.shape[0], dtype=np.int64)
+    in_b = np.ones(alphas.shape[0], dtype=np.int64)
+    in_both = np.ones(alphas.shape[0], dtype=np.int64)
+    for axis, length in enumerate(lengths):
+        a = alphas[:, axis]
+        b = betas[:, axis]
+        in_a *= np.maximum(0, np.minimum(a, side - length) - np.maximum(0, a - length + 1) + 1)
+        in_b *= np.maximum(0, np.minimum(b, side - length) - np.maximum(0, b - length + 1) + 1)
+        in_both *= _pair_axis_count(a, b, side, length)
+    return in_a + in_b - 2 * in_both
+
+
+def gamma_neighbor_lemma2(
+    side: int, lengths: Sequence[int], alpha: Cell, beta: Cell
+) -> int:
+    """``γ(Q, e)`` for a neighbor edge via the paper's Lemma 2 product.
+
+    The paper states the 2-d form (``δ₁ · δ₂``); the identical reasoning
+    per axis gives the d-dimensional product used here.  This function
+    exists to validate Lemma 2 against :func:`gamma_pair` in the tests;
+    the library itself computes with the general form.
+    """
+    lengths = _check_lengths(side, lengths)
+    diff_axis = None
+    for axis, (a, b) in enumerate(zip(alpha, beta)):
+        if a != b:
+            if abs(int(a) - int(b)) != 1 or diff_axis is not None:
+                raise InvalidQueryError(
+                    f"edge {alpha}->{beta} is not between neighboring cells"
+                )
+            diff_axis = axis
+    if diff_axis is None:
+        raise InvalidQueryError("edge endpoints are identical")
+
+    half = side // 2
+    gamma = 1
+    for axis, length in enumerate(lengths):
+        a, b = int(alpha[axis]), int(beta[axis])
+        nabla = min(a + 1, side - a, b + 1, side - b)
+        if axis == diff_axis:
+            if length <= half:
+                delta = 1 if nabla <= length - 1 else 2
+            else:
+                delta = 1 if nabla <= side - length else 0
+        else:
+            delta = min(length, side + 1 - length, nabla)
+        gamma *= delta
+    return gamma

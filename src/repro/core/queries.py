@@ -1,0 +1,142 @@
+"""Query shapes and the random query generators of Section VII.
+
+The paper evaluates three families of query workloads:
+
+* random cubes of a given side (Fig 5): the lower corner is chosen
+  uniformly among all feasible positions;
+* random rectangles with a fixed side-length ratio ``ρ`` (Fig 6,
+  Algorithm 1): the longest side sweeps down from the universe side in
+  fixed steps, the other sides are ``⌊ℓ/ρ⌋``, and each shape is placed at
+  a number of uniform positions;
+* random rectangles with uniform random corner points (Fig 7).
+
+All generators return lists of :class:`~repro.geometry.Rect` and take an
+explicit ``numpy`` random generator so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidQueryError
+from ..geometry import Rect, all_translations, num_translations
+
+__all__ = [
+    "random_cubes",
+    "random_rects",
+    "fixed_ratio_rects",
+    "random_corner_rects",
+    "rows_query_set",
+    "columns_query_set",
+    "translation_query_set",
+    "num_translations",
+]
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def random_rects(
+    side: int,
+    lengths: Sequence[int],
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Rect]:
+    """``count`` uniform random translations of a rect with ``lengths``.
+
+    The lower corner is uniform over all feasible positions, exactly as in
+    the paper's cube experiment.
+    """
+    rng = _rng(rng)
+    lengths = [int(l) for l in lengths]
+    for length in lengths:
+        if not 1 <= length <= side:
+            raise InvalidQueryError(f"length {length} does not fit side {side}")
+    highs = [side - l + 1 for l in lengths]
+    origins = np.stack([rng.integers(0, h, size=count) for h in highs], axis=1)
+    return [Rect.from_origin(origin, lengths) for origin in origins]
+
+
+def random_cubes(
+    side: int,
+    dim: int,
+    length: int,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Rect]:
+    """``count`` random cubes of side ``length`` (Fig 5 workload)."""
+    return random_rects(side, [length] * dim, count, rng)
+
+
+def fixed_ratio_rects(
+    side: int,
+    dim: int,
+    ratio: float,
+    rng: Optional[np.random.Generator] = None,
+    step: int = 50,
+    per_length: int = 20,
+) -> List[Rect]:
+    """Algorithm 1 of the paper: rectangles with fixed side ratio ``ρ``.
+
+    ``ℓ_long`` sweeps from ``side`` down in decrements of ``step``; the
+    first dimension gets ``ℓ₁ = ⌊ℓ_long / ρ⌋`` and all remaining dimensions
+    ``ℓ_long`` (for ``d = 2`` this is exactly the paper's Algorithm 1; for
+    ``d = 3`` it is the natural extension the paper alludes to).  Shapes
+    whose ``ℓ₁`` does not fit the universe are skipped; each retained shape
+    is sampled at ``per_length`` uniform positions.
+    """
+    if ratio <= 0:
+        raise InvalidQueryError(f"ratio must be positive, got {ratio}")
+    rng = _rng(rng)
+    queries: List[Rect] = []
+    long_side = side
+    while long_side > 0:
+        l1 = int(long_side // ratio)
+        if 1 <= l1 <= side:
+            lengths = [l1] + [long_side] * (dim - 1)
+            queries.extend(random_rects(side, lengths, per_length, rng))
+        long_side -= step
+    return queries
+
+
+def random_corner_rects(
+    side: int,
+    dim: int,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Rect]:
+    """Fig 7 workload: the bounding box of two uniform random cells."""
+    rng = _rng(rng)
+    a = rng.integers(0, side, size=(count, dim))
+    b = rng.integers(0, side, size=(count, dim))
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    return [Rect(tuple(l), tuple(h)) for l, h in zip(lo, hi)]
+
+
+def rows_query_set(side: int) -> List[Rect]:
+    """``Q_R``: every full row of the 2-d universe (Lemma 10)."""
+    return [Rect((0, y), (side - 1, y)) for y in range(side)]
+
+
+def columns_query_set(side: int) -> List[Rect]:
+    """``Q_C``: every full column of the 2-d universe (Lemma 10)."""
+    return [Rect((x, 0), (x, side - 1)) for x in range(side)]
+
+
+def translation_query_set(side: int, lengths: Sequence[int]) -> List[Rect]:
+    """The full translation query set ``Q(ℓ₁, …, ℓ_d)`` as an explicit list.
+
+    Only usable when ``|Q|`` is modest; the analysis modules compute over
+    this set implicitly (in closed form) without materializing it.
+    """
+    total = num_translations(side, lengths)
+    if total > 4_000_000:
+        raise InvalidQueryError(
+            f"translation set has {total} queries; use repro.analysis.exact "
+            "for closed-form averages instead of materializing it"
+        )
+    return list(all_translations(side, lengths))

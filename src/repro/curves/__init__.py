@@ -1,0 +1,37 @@
+"""Space filling curve implementations.
+
+The onion curves implement the paper's contribution; the Hilbert, Z,
+Gray-code, row/column-major and snake curves are the baselines it is
+evaluated against.
+"""
+
+from .base import SpaceFillingCurve
+from .graycode import GrayCodeCurve
+from .hilbert import HilbertCurve
+from .onion2d import OnionCurve2D, onion2d_index_recursive
+from .onion3d import DEFAULT_FACE_ORDER, OnionCurve3D
+from .onion_nd import OnionCurveND
+from .peano import PeanoCurve
+from .registry import curve_names, make_curve, register_curve
+from .rowmajor import ColumnMajorCurve, RowMajorCurve
+from .snake import SnakeCurve
+from .zorder import ZOrderCurve
+
+__all__ = [
+    "SpaceFillingCurve",
+    "OnionCurve2D",
+    "OnionCurve3D",
+    "OnionCurveND",
+    "HilbertCurve",
+    "PeanoCurve",
+    "ZOrderCurve",
+    "GrayCodeCurve",
+    "RowMajorCurve",
+    "ColumnMajorCurve",
+    "SnakeCurve",
+    "DEFAULT_FACE_ORDER",
+    "onion2d_index_recursive",
+    "make_curve",
+    "curve_names",
+    "register_curve",
+]

@@ -1,0 +1,71 @@
+"""Name-based curve construction.
+
+``make_curve("onion", side=1024, dim=2)`` is the single entry point most
+callers need.  The ``"onion"`` name dispatches on dimension: the paper's
+specialized 2-D and 3-D definitions where they exist, the generic
+n-dimensional extension otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import UnknownCurveError
+from .base import SpaceFillingCurve
+from .graycode import GrayCodeCurve
+from .hilbert import HilbertCurve
+from .onion2d import OnionCurve2D
+from .onion3d import OnionCurve3D
+from .onion_nd import OnionCurveND
+from .peano import PeanoCurve
+from .rowmajor import ColumnMajorCurve, RowMajorCurve
+from .snake import SnakeCurve
+from .zorder import ZOrderCurve
+
+CurveFactory = Callable[[int, int], SpaceFillingCurve]
+
+
+def _make_onion(side: int, dim: int) -> SpaceFillingCurve:
+    if dim == 2:
+        return OnionCurve2D(side)
+    if dim == 3:
+        return OnionCurve3D(side)
+    return OnionCurveND(side, dim)
+
+
+_REGISTRY: Dict[str, CurveFactory] = {
+    "onion": _make_onion,
+    "onion-nd": OnionCurveND,
+    "hilbert": HilbertCurve,
+    "peano": PeanoCurve,
+    "zorder": ZOrderCurve,
+    "z": ZOrderCurve,
+    "gray": GrayCodeCurve,
+    "rowmajor": RowMajorCurve,
+    "columnmajor": ColumnMajorCurve,
+    "snake": SnakeCurve,
+}
+
+
+def curve_names() -> List[str]:
+    """All registered curve names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_curve(name: str, side: int, dim: int = 2) -> SpaceFillingCurve:
+    """Construct the named curve on a ``side**dim`` universe.
+
+    Raises :class:`~repro.errors.UnknownCurveError` for unregistered names.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownCurveError(
+            f"unknown curve {name!r}; available: {', '.join(curve_names())}"
+        ) from None
+    return factory(side, dim)
+
+
+def register_curve(name: str, factory: CurveFactory) -> None:
+    """Register a custom curve factory under ``name`` (overwrites)."""
+    _REGISTRY[name.lower()] = factory

@@ -1,0 +1,91 @@
+"""Row-major and column-major curves (Jagadish's baselines).
+
+The row-major curve makes every axis-0 line contiguous: in two dimensions
+each *row* ``{(x, c) : x}`` occupies one key run, so it is optimal (one
+cluster) for the paper's row query set ``Q_R`` and pessimal (``√n``
+clusters) for the column set ``Q_C``.  The column-major curve is its
+mirror.  Both are used by the Lemma 10/11 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Cell
+from .base import SpaceFillingCurve
+
+
+class RowMajorCurve(SpaceFillingCurve):
+    """Lexicographic order with coordinate 0 varying fastest."""
+
+    is_continuous = False  # wraps around at the end of each row
+
+    @property
+    def name(self) -> str:
+        return "rowmajor"
+
+    def _index_impl(self, cell: Cell) -> int:
+        key = 0
+        for c in reversed(cell):
+            key = key * self._side + c
+        return key
+
+    def _point_impl(self, key: int) -> Cell:
+        coords = []
+        for _ in range(self._dim):
+            key, rem = divmod(key, self._side)
+            coords.append(rem)
+        return tuple(coords)
+
+    def index_many(self, cells: np.ndarray) -> np.ndarray:
+        cells = self._check_cells_array(cells)
+        keys = np.zeros(cells.shape[0], dtype=np.int64)
+        for axis in range(self._dim - 1, -1, -1):
+            keys = keys * self._side + cells[:, axis]
+        return keys
+
+    def point_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = self._check_keys_array(keys).copy()
+        out = np.empty((keys.shape[0], self._dim), dtype=np.int64)
+        for axis in range(self._dim):
+            out[:, axis] = keys % self._side
+            keys //= self._side
+        return out
+
+
+class ColumnMajorCurve(SpaceFillingCurve):
+    """Lexicographic order with the last coordinate varying fastest."""
+
+    is_continuous = False
+
+    @property
+    def name(self) -> str:
+        return "columnmajor"
+
+    def _index_impl(self, cell: Cell) -> int:
+        key = 0
+        for c in cell:
+            key = key * self._side + c
+        return key
+
+    def _point_impl(self, key: int) -> Cell:
+        coords = []
+        for _ in range(self._dim):
+            key, rem = divmod(key, self._side)
+            coords.append(rem)
+        return tuple(reversed(coords))
+
+    def index_many(self, cells: np.ndarray) -> np.ndarray:
+        cells = self._check_cells_array(cells)
+        keys = np.zeros(cells.shape[0], dtype=np.int64)
+        for axis in range(self._dim):
+            keys = keys * self._side + cells[:, axis]
+        return keys
+
+    def point_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = self._check_keys_array(keys).copy()
+        out = np.empty((keys.shape[0], self._dim), dtype=np.int64)
+        for axis in range(self._dim - 1, -1, -1):
+            out[:, axis] = keys % self._side
+            keys //= self._side
+        return out

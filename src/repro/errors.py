@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single ``except``
+clause while still distinguishing the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class InvalidUniverseError(ReproError, ValueError):
+    """A universe (grid) was constructed with unusable parameters.
+
+    Examples: non-positive side length, a side length that is not a power of
+    two for a curve that requires one, or a dimension the curve does not
+    support.
+    """
+
+
+class OutOfUniverseError(ReproError, ValueError):
+    """A cell coordinate or curve key lies outside the universe."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query rectangle is malformed or does not fit in the universe."""
+
+
+class CurveCapabilityError(ReproError, TypeError):
+    """An operation requires a capability the curve does not provide.
+
+    For example, the boundary-shell clustering algorithm is only valid for
+    continuous curves and refuses to run on the Z curve.
+    """
+
+
+class UnknownCurveError(ReproError, KeyError):
+    """The curve registry has no entry under the requested name."""
+
+
+class StorageError(ReproError):
+    """Base class for failures in the simulated storage substrate."""
+
+
+class PageError(StorageError, ValueError):
+    """A page id handed to the simulated disk is invalid."""
+
+
+class TreeError(StorageError):
+    """The B+-tree was used inconsistently (e.g. duplicate key insert)."""

@@ -1,0 +1,46 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from . import (
+    distributions,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    gap_ablation,
+    higher_dims,
+    lemma5,
+    rows_columns,
+    table1,
+    stretch_table,
+    table2,
+    theory_validation,
+)
+from .config import FIG6_RATIOS, SCALES, Scale, fig5_lengths, get_scale
+from .report import ExperimentResult, format_table
+from .stats import BoxStats
+
+__all__ = [
+    "distributions",
+    "gap_ablation",
+    "higher_dims",
+    "stretch_table",
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "lemma5",
+    "rows_columns",
+    "table1",
+    "table2",
+    "theory_validation",
+    "FIG6_RATIOS",
+    "SCALES",
+    "Scale",
+    "fig5_lengths",
+    "get_scale",
+    "ExperimentResult",
+    "format_table",
+    "BoxStats",
+]

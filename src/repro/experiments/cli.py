@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.experiments <exp> [...]``.
+
+Examples::
+
+    python -m repro.experiments fig5 --dim 3 --scale paper
+    python -m repro.experiments all --scale ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from . import (
+    distributions,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    gap_ablation,
+    higher_dims,
+    lemma5,
+    rows_columns,
+    table1,
+    stretch_table,
+    table2,
+    theory_validation,
+)
+from .config import SCALES, get_scale
+
+__all__ = ["main"]
+
+_DIMMED: Dict[str, Callable] = {
+    "fig5": fig5.run,
+    "fig5-exact": distributions.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "lemma5": lemma5.run,
+}
+_SIMPLE: Dict[str, Callable] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "rows-columns": rows_columns.run,
+    "theory": theory_validation.run,
+    "gap-ablation": gap_ablation.run,
+    "higher-dims": higher_dims.run,
+    "stretch": stretch_table.run,
+}
+
+
+def _experiment_names() -> List[str]:
+    return sorted(_DIMMED) + sorted(_SIMPLE) + ["all"]
+
+
+def main(argv: List[str] = None) -> int:
+    """Run one experiment (or all) and print its report."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=_experiment_names())
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="",
+        help="experiment scale (default: $REPRO_SCALE or ci)",
+    )
+    parser.add_argument(
+        "--dim",
+        type=int,
+        choices=(2, 3),
+        default=0,
+        help="dimension for fig5/fig6/fig7/lemma5 (default: both)",
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    names = (
+        sorted(_DIMMED) + sorted(_SIMPLE)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        if name in _DIMMED:
+            dims = [args.dim] if args.dim else [2, 3]
+            for dim in dims:
+                print(_DIMMED[name](scale, dim=dim).render())
+                print()
+        else:
+            print(_SIMPLE[name](scale).render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

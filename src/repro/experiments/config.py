@@ -1,0 +1,128 @@
+"""Experiment scale presets.
+
+The paper's experiments run at ``√n = 2¹⁰`` (2-d) and ``∛n = 2⁹`` (3-d)
+with 1000/500 random queries per configuration.  Those settings are
+available as the ``paper`` scale; the default ``ci`` scale shrinks the
+universe and query counts so the full suite runs in minutes while keeping
+every *shape* conclusion intact (the theory is side-length free).
+
+Select a scale with the ``REPRO_SCALE`` environment variable (``ci``,
+``small``, ``paper``) or pass a :class:`Scale` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Scale", "SCALES", "get_scale", "fig5_lengths"]
+
+#: Fig 5b's cube sides at ∛n = 512, kept as fractions so they scale.
+_FIG5_3D_FRACTIONS: Tuple[float, ...] = (
+    472 / 512,
+    432 / 512,
+    192 / 512,
+    152 / 512,
+    112 / 512,
+    72 / 512,
+    32 / 512,
+)
+
+#: Fig 6's side-length ratios (both dimensions use the same list).
+FIG6_RATIOS: Tuple[float, ...] = (
+    1 / 1024,
+    1 / 512,
+    1 / 4,
+    1 / 2,
+    3 / 4,
+    1.0,
+    4 / 3,
+    2.0,
+    4.0,
+    512.0,
+    1024.0,
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale: universe sides, query counts and sweep steps."""
+
+    name: str
+    side_2d: int
+    side_3d: int
+    queries_2d: int
+    queries_3d: int
+    ratio_step_2d: int  # Algorithm 1's long-side decrement (paper: 50)
+    ratio_step_3d: int
+    per_length: int  # Algorithm 1's placements per shape (paper: 20)
+    seed: int = 20180123  # the paper's arXiv date, for reproducibility
+
+    def fig5_lengths_2d(self) -> List[int]:
+        """Fig 5a's square sides: ``side − step·k`` for odd ``k`` in 1..19."""
+        step = max(1, round(self.side_2d * 50 / 1024))
+        lengths = [self.side_2d - step * k for k in range(1, 20, 2)]
+        return [l for l in lengths if l >= 1]
+
+    def fig5_lengths_3d(self) -> List[int]:
+        """Fig 5b's cube sides, scaled from the paper's 512-side list."""
+        lengths = sorted(
+            {max(1, round(f * self.side_3d)) for f in _FIG5_3D_FRACTIONS},
+            reverse=True,
+        )
+        return lengths
+
+
+SCALES: Dict[str, Scale] = {
+    "ci": Scale(
+        name="ci",
+        side_2d=128,
+        side_3d=32,
+        queries_2d=100,
+        queries_3d=40,
+        ratio_step_2d=8,
+        ratio_step_3d=4,
+        per_length=5,
+    ),
+    "small": Scale(
+        name="small",
+        side_2d=256,
+        side_3d=64,
+        queries_2d=200,
+        queries_3d=80,
+        ratio_step_2d=16,
+        ratio_step_3d=8,
+        per_length=10,
+    ),
+    "paper": Scale(
+        name="paper",
+        side_2d=1024,
+        side_3d=512,
+        queries_2d=1000,
+        queries_3d=500,
+        ratio_step_2d=50,
+        ratio_step_3d=50,
+        per_length=20,
+    ),
+}
+
+
+def get_scale(name: str = "") -> Scale:
+    """Resolve a scale by name, falling back to ``$REPRO_SCALE`` then ``ci``."""
+    resolved = name or os.environ.get("REPRO_SCALE", "ci")
+    try:
+        return SCALES[resolved]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {resolved!r}; available: {', '.join(SCALES)}"
+        ) from None
+
+
+def fig5_lengths(scale: Scale, dim: int) -> List[int]:
+    """The Fig 5 cube-side sweep for the given dimension."""
+    if dim == 2:
+        return scale.fig5_lengths_2d()
+    if dim == 3:
+        return scale.fig5_lengths_3d()
+    raise ValueError(f"Fig 5 is defined for dim 2 or 3, got {dim}")

@@ -1,0 +1,79 @@
+"""Figure 1: the Hilbert curve beats the Z curve on a sample query.
+
+The paper's opening figure shows a query region in a small grid for which
+the Hilbert curve produces 2 clusters and the Z curve 4.  This experiment
+regenerates that comparison: it scans every rect in an 8×8 universe,
+reports a canonical witness with exactly (hilbert=2, z=4), and tabulates
+how often each curve wins over all rect queries in the grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..curves import make_curve
+from ..core.clustering import clustering_number
+from ..geometry import Rect
+from .report import ExperimentResult
+
+__all__ = ["run", "find_witness"]
+
+_SIDE = 8
+
+
+def find_witness(hilbert_clusters: int = 2, z_clusters: int = 4) -> Optional[Rect]:
+    """First rect (in scan order) with the figure's exact cluster counts."""
+    hilbert = make_curve("hilbert", _SIDE, 2)
+    zorder = make_curve("zorder", _SIDE, 2)
+    for x0, y0 in itertools.product(range(_SIDE), repeat=2):
+        for x1, y1 in itertools.product(range(x0, _SIDE), range(y0, _SIDE)):
+            rect = Rect((x0, y0), (x1, y1))
+            if rect.volume < 4:
+                continue
+            if (
+                clustering_number(hilbert, rect) == hilbert_clusters
+                and clustering_number(zorder, rect) == z_clusters
+            ):
+                return rect
+    return None
+
+
+def run(scale=None) -> ExperimentResult:
+    """Regenerate Figure 1 (scale-independent; ``scale`` accepted for API
+    uniformity)."""
+    hilbert = make_curve("hilbert", _SIDE, 2)
+    zorder = make_curve("zorder", _SIDE, 2)
+    witness = find_witness()
+    rows = []
+    if witness is not None:
+        rows.append(
+            (
+                f"{witness.lo}-{witness.hi}",
+                clustering_number(hilbert, witness),
+                clustering_number(zorder, witness),
+            )
+        )
+    h_better = tie = z_better = 0
+    for x0, y0 in itertools.product(range(_SIDE), repeat=2):
+        for x1, y1 in itertools.product(range(x0, _SIDE), range(y0, _SIDE)):
+            rect = Rect((x0, y0), (x1, y1))
+            h = clustering_number(hilbert, rect)
+            z = clustering_number(zorder, rect)
+            if h < z:
+                h_better += 1
+            elif h == z:
+                tie += 1
+            else:
+                z_better += 1
+    rows.append(("all-rects h<z / h=z / h>z", h_better, f"{tie} / {z_better}"))
+    return ExperimentResult(
+        experiment="fig1",
+        title="Hilbert vs Z clustering on a sample query (8x8 universe)",
+        headers=["query", "hilbert", "zorder"],
+        rows=rows,
+        notes=[
+            "paper shows a query with hilbert=2, zorder=4; the witness row "
+            "reproduces one such query",
+        ],
+    )

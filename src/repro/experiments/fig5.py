@@ -1,0 +1,53 @@
+"""Figure 5: clustering distributions over random cube queries.
+
+Fig 5a (2-d): squares of side ``√n − 50k`` (odd ``k`` up to 19) at
+``√n = 2¹⁰``, 1000 random placements each.  Fig 5b (3-d): cubes of the
+listed sides at ``∛n = 2⁹``, 500 placements.  Box-plot statistics of the
+clustering numbers of the onion and Hilbert curves are reported per side.
+
+Expected shape (paper Section VII-A): the onion curve is never worse,
+and is dramatically better once the cube side exceeds half the axis
+(over 200× at the largest 3-d sides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..curves import make_curve
+from ..core.clustering import clustering_distribution
+from ..core.queries import random_cubes
+from .config import Scale, fig5_lengths, get_scale
+from .report import ExperimentResult
+from .stats import BoxStats
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = None, dim: int = 2) -> ExperimentResult:
+    """Regenerate Fig 5a (``dim=2``) or Fig 5b (``dim=3``)."""
+    scale = scale or get_scale()
+    side = scale.side_2d if dim == 2 else scale.side_3d
+    count = scale.queries_2d if dim == 2 else scale.queries_3d
+    rng = np.random.default_rng(scale.seed)
+    onion = make_curve("onion", side, dim)
+    hilbert = make_curve("hilbert", side, dim)
+    rows = []
+    for length in fig5_lengths(scale, dim):
+        queries = random_cubes(side, dim, length, count, rng)
+        o = BoxStats.from_counts(clustering_distribution(onion, queries))
+        h = BoxStats.from_counts(clustering_distribution(hilbert, queries))
+        gap = h.median / o.median if o.median else float("inf")
+        rows.append((length, str(o), str(h), round(gap, 2)))
+    return ExperimentResult(
+        experiment=f"fig5{'a' if dim == 2 else 'b'}",
+        title=(
+            f"clustering of random {'squares' if dim == 2 else 'cubes'} "
+            f"(side {side}, {count} queries per length, scale={scale.name})"
+        ),
+        headers=["length", "onion", "hilbert", "median gap (h/o)"],
+        rows=rows,
+        notes=[
+            "gap >> 1 expected for lengths above side/2; ~1 for small lengths",
+        ],
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module returns an :class:`ExperimentResult` holding the
+regenerated rows of the corresponding paper table/figure; ``render()``
+prints them as a fixed-width table so a terminal session reproduces the
+paper's numbers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Regenerated rows for one paper table or figure."""
+
+    experiment: str  # e.g. "fig5a"
+    title: str
+    headers: List[str]
+    rows: List[tuple]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report: title, table, notes."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name (test support)."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]

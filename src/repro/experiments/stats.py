@@ -1,0 +1,54 @@
+"""Distribution summaries matching the paper's box plots.
+
+The paper reports clustering-number distributions as box plots showing
+the minimum, 25th percentile, median, 75th percentile and maximum.
+:class:`BoxStats` captures exactly those five numbers (plus the mean,
+which the theory sections reason about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoxStats"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary (plus mean) of a clustering-number distribution."""
+
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[float]) -> "BoxStats":
+        """Summarize a sequence of per-query clustering numbers."""
+        arr = np.asarray(counts, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty distribution")
+        q25, median, q75 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            minimum=float(arr.min()),
+            q25=float(q25),
+            median=float(median),
+            q75=float(q75),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+        )
+
+    def as_row(self) -> tuple:
+        """The five numbers plus mean, for table rendering."""
+        return (self.minimum, self.q25, self.median, self.q75, self.maximum, self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:g} q25={self.q25:g} med={self.median:g} "
+            f"q75={self.q75:g} max={self.maximum:g} mean={self.mean:.2f}"
+        )

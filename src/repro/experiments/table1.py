@@ -1,0 +1,142 @@
+"""Table I: clustering approximation ratios for cube query sets.
+
+Two halves, matching the table's two columns:
+
+* **onion**: the measured ratio ``η = c(Q, O) / LB_any`` over a sweep of
+  cube fractions ``φ = ℓ/side`` stays below the paper's constants
+  (2.32 in 2-d, 3.4 in 3-d); the analytic maxima of the paper's ratio
+  curves are reproduced numerically.
+* **hilbert**: for near-full cubes (``ℓ = side − margin``), the measured
+  clustering number grows by ~2× (2-d) / ~4× (3-d) per side doubling —
+  the ``Ω(√n)`` / ``Ω(n^(2/3))`` divergence — while the onion curve
+  stays constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.hilbert_gap import growth_ratios, scaling_experiment
+from ..analysis.ratios import (
+    ETA_BOUND_2D,
+    ETA_BOUND_3D,
+    eta_sweep,
+    maximize_eta_2d,
+    maximize_eta_3d,
+)
+from ..curves import make_curve
+from .config import Scale, get_scale
+from .report import ExperimentResult
+
+__all__ = ["run", "PHI_GRID"]
+
+#: Cube fractions swept for the measured onion ratio (includes the paper's
+#: 2-d and 3-d maximizers).
+PHI_GRID: Sequence[float] = (0.1, 0.2, 0.3, 0.355, 0.3967, 0.5, 0.65, 0.8, 0.95)
+
+
+def _doubling_sides(top: int, levels: int, floor: int) -> List[int]:
+    sides = []
+    side = top
+    for _ in range(levels):
+        if side < floor:
+            break
+        sides.append(side)
+        side //= 2
+    return sorted(sides)
+
+
+def run(scale: Scale = None) -> ExperimentResult:
+    """Regenerate Table I at the given scale."""
+    scale = scale or get_scale()
+    rows = []
+
+    phi2, eta2 = maximize_eta_2d()
+    phi3, eta3 = maximize_eta_3d()
+    rows.append(("onion 2d analytic max", f"{eta2:.3f} @ phi={phi2:.4f}", "2.32"))
+    rows.append(("onion 3d analytic max", f"{eta3:.3f} @ phi={phi3:.4f}", "3.4"))
+
+    side2 = min(scale.side_2d, 512)  # exact O(n) sweep stays fast
+    side3 = min(scale.side_3d, 64)
+    onion2 = make_curve("onion", side2, 2)
+    onion3 = make_curve("onion", side3, 3)
+    small_phis = [p for p in PHI_GRID if p <= 0.5]
+    sweep2 = eta_sweep([onion2], small_phis)["onion"]
+    sweep3 = eta_sweep([onion3], small_phis)["onion"]
+    max2 = max(eta for _, eta in sweep2)
+    max3 = max(eta for _, eta in sweep3)
+    rows.append(
+        (f"onion 2d measured max, phi<=1/2 (side {side2})", f"{max2:.3f}", "~2.32")
+    )
+    rows.append(
+        (f"onion 3d measured max, phi<=1/2 (side {side3})", f"{max3:.3f}", "~3.4")
+    )
+
+    # Large cubes (phi > 1/2): the measured ratio carries O(1/L) finite-size
+    # constants, so the reproducible claim is side-independence — the onion
+    # ratio does not grow when the universe doubles, the Hilbert one does.
+    large_phis = [p for p in PHI_GRID if p > 0.5]
+    for dim, top_side in ((2, side2), (3, side3)):
+        small = make_curve("onion", top_side // 2, dim)
+        large = make_curve("onion", top_side, dim)
+        at_small = eta_sweep([small], large_phis)["onion"]
+        at_large = eta_sweep([large], large_phis)["onion"]
+        pairs = " ".join(
+            f"{a:.2f}->{b:.2f}" for (_, a), (_, b) in zip(at_small, at_large)
+        )
+        rows.append(
+            (
+                f"onion {dim}d ratio at phi>1/2, side x2",
+                pairs,
+                "flat (O(1) for all cube sizes)",
+            )
+        )
+
+    sides2 = _doubling_sides(min(scale.side_2d, 512), 4, 32)
+    margin2 = 10
+    rows2 = scaling_experiment(sides2, dim=2, margin=margin2)
+    ratios2 = growth_ratios(rows2)
+    rows.append(
+        (
+            f"hilbert 2d growth per doubling (margin {margin2})",
+            " ".join(f"{r:.2f}" for r in ratios2),
+            "Omega(sqrt n): ~2",
+        )
+    )
+    rows.append(
+        (
+            "onion 2d at same cubes",
+            " ".join(f"{r.onion:.2f}" for r in rows2),
+            "Theta(1)",
+        )
+    )
+
+    sides3 = _doubling_sides(min(scale.side_3d, 64), 3, 8)
+    margin3 = 4
+    rows3 = scaling_experiment(sides3, dim=3, margin=margin3)
+    ratios3 = growth_ratios(rows3)
+    rows.append(
+        (
+            f"hilbert 3d growth per doubling (margin {margin3})",
+            " ".join(f"{r:.2f}" for r in ratios3),
+            "Omega(n^2/3): ~4",
+        )
+    )
+    rows.append(
+        (
+            "onion 3d at same cubes",
+            " ".join(f"{r.onion:.2f}" for r in rows3),
+            "Theta(1)",
+        )
+    )
+
+    return ExperimentResult(
+        experiment="table1",
+        title=f"approximation ratios for cube queries (scale={scale.name})",
+        headers=["quantity", "measured", "paper"],
+        rows=rows,
+        notes=[
+            "measured eta uses the numeric any-SFC lower bound, an upper "
+            "estimate of the true ratio",
+        ],
+    )

@@ -1,0 +1,141 @@
+"""Table II: approximation ratios per near-cube case.
+
+The paper's Table II enumerates five parameter regimes of near-cube query
+sets (``ℓ_i = φ_i·(side)^µ + ψ_i``) and bounds the onion curve's ratio in
+each.  This experiment instantiates one concrete query set per regime,
+measures ``η′ = c(Q, O)/LB_continuous`` and ``2η′`` exactly, and compares
+against the paper's tabulated bound.
+
+The paper's bounds are asymptotic; at finite sides the measured values
+carry O(1/side) noise, so the regeneration criterion is
+``measured 2η′ ≤ paper bound + slack`` with slack shrinking as the side
+grows (asserted by the test suite at CI scale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..analysis.exact import exact_average_clustering
+from ..analysis.lower_bounds import lower_bound_continuous
+from ..curves import make_curve
+from .config import Scale, get_scale
+from .report import ExperimentResult
+
+__all__ = ["run", "CASES_2D", "CASES_3D", "Case"]
+
+
+@dataclass(frozen=True)
+class Case:
+    """One Table II row: a near-cube regime and the paper's bound."""
+
+    label: str
+    lengths_fn: Callable[[int], Tuple[int, ...]]
+    paper_bound: float
+
+
+def _case_mu0(side: int) -> Tuple[int, int]:
+    return (3, 4)
+
+
+def _case_mu_half(side: int) -> Tuple[int, int]:
+    l = max(2, round(math.sqrt(side)))
+    return (l, l)
+
+
+def _case_phi_star_2d(side: int) -> Tuple[int, int]:
+    l = max(1, round(0.355 * side))
+    return (l, l)
+
+
+def _case_phi34_2d(side: int) -> Tuple[int, int]:
+    l = max(1, round(0.75 * side))
+    return (l, l)
+
+
+def _case_full_2d(side: int) -> Tuple[int, int]:
+    return (side - 4, side - 4)
+
+
+CASES_2D: Sequence[Case] = (
+    Case("mu=0 (constant 3x4)", _case_mu0, 1.0),
+    Case("mu=1/2 (sqrt-side cube)", _case_mu_half, 2.0),
+    Case("mu=1 phi=0.355 (worst phi)", _case_phi_star_2d, 2.32),
+    Case("mu=1 phi=0.75", _case_phi34_2d, 2.0),
+    Case("mu=1 phi=1 psi=-4", _case_full_2d, 2.0),
+)
+
+
+def _case3_mu0(side: int) -> Tuple[int, int, int]:
+    return (2, 2, 2)
+
+
+def _case3_mu_half(side: int) -> Tuple[int, int, int]:
+    l = max(2, round(math.sqrt(side)))
+    return (l, l, l)
+
+
+def _case3_phi_star(side: int) -> Tuple[int, int, int]:
+    l = max(1, round(0.3967 * side))
+    return (l, l, l)
+
+
+def _case3_phi34(side: int) -> Tuple[int, int, int]:
+    l = max(1, round(0.75 * side))
+    return (l, l, l)
+
+
+def _case3_full(side: int) -> Tuple[int, int, int]:
+    return (side - 4,) * 3
+
+
+def _case3_full_bound(side: int) -> float:
+    # Section VI-C case V: eta <= 2 + (95/6) / (−ψ − 3/2), here ψ = −4.
+    return 2.0 + (95.0 / 6.0) / (4.0 - 1.5)
+
+
+CASES_3D: Sequence[Case] = (
+    Case("mu=0 (constant 2^3)", _case3_mu0, 1.0),
+    Case("mu=1/2 (sqrt-side cube)", _case3_mu_half, 2.0),
+    Case("mu=1 phi=0.3967 (worst phi)", _case3_phi_star, 3.4),
+    Case("mu=1 phi=0.75", _case3_phi34, 2.0),
+    Case("mu=1 phi=1 psi=-4", _case3_full, _case3_full_bound(0)),
+)
+
+
+def run(scale: Scale = None) -> ExperimentResult:
+    """Regenerate Table II at the given scale."""
+    scale = scale or get_scale()
+    rows: List[tuple] = []
+    for dim, cases, side_cap in (
+        (2, CASES_2D, min(scale.side_2d, 512)),
+        (3, CASES_3D, min(scale.side_3d, 64)),
+    ):
+        curve = make_curve("onion", side_cap, dim)
+        for case in cases:
+            lengths = case.lengths_fn(side_cap)
+            c = exact_average_clustering(curve, lengths)
+            lb = lower_bound_continuous(side_cap, lengths)
+            eta_prime = c / lb
+            rows.append(
+                (
+                    f"{dim}d {case.label}",
+                    "x".join(str(l) for l in lengths),
+                    round(eta_prime, 3),
+                    round(2 * eta_prime, 3),
+                    case.paper_bound,
+                )
+            )
+    return ExperimentResult(
+        experiment="table2",
+        title=f"near-cube approximation ratios (scale={scale.name})",
+        headers=["case", "lengths", "eta' (vs cont. LB)", "2*eta'", "paper eta bound"],
+        rows=rows,
+        notes=[
+            "paper bounds are asymptotic; eta' -> the bound/2 as side grows",
+            "mu=0 rows: the paper proves optimality (eta = 1) via [18]; "
+            "eta' ~ 1 is the measurable counterpart",
+        ],
+    )

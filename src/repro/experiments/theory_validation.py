@@ -1,0 +1,109 @@
+"""Validation table: the paper's closed forms against exact computation.
+
+For a grid of query lengths, compares
+
+* Theorem 1 (2-d onion upper formula) against the exact average
+  clustering number, checking the paper's stated ``|ε| ≤ 5`` / ``≤ 2``;
+* Theorem 2's closed lower bound against the definitional numeric bound;
+* Theorem 4 (3-d onion) against the exact value (relative error, since
+  the theorem carries an unquantified ``o(ℓ²)``);
+* Theorem 5's (transcription-corrected) 3-d lower bound against the
+  numeric bound.
+
+This is the evidence table cited by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..analysis.exact import exact_average_clustering
+from ..analysis.lower_bounds import (
+    lower_bound_continuous,
+    theorem2_lb,
+    theorem5_lb_3d,
+)
+from ..analysis.theory2d import theorem1_value
+from ..analysis.theory3d import theorem4_value
+from ..curves import make_curve
+from .config import Scale, get_scale
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = None) -> ExperimentResult:
+    """Regenerate the theory-vs-measurement table."""
+    scale = scale or get_scale()
+    side2 = min(scale.side_2d, 256)
+    side3 = min(scale.side_3d, 32)
+    m2 = side2 // 2
+    onion2 = make_curve("onion", side2, 2)
+    onion3 = make_curve("onion", side3, 3)
+    rows = []
+
+    for lengths in [
+        (2, 3),
+        (m2 // 4, m2 // 2),
+        (m2, m2),
+        (m2 + 4, m2 + 8),
+        (side2 - 3, side2 - 3),
+    ]:
+        exact = exact_average_clustering(onion2, lengths)
+        value, tol = theorem1_value(side2, lengths)
+        rows.append(
+            (
+                f"thm1 2d l={lengths}",
+                round(exact, 3),
+                round(value, 3),
+                f"|diff|={abs(exact - value):.2f} <= {tol:g}",
+                "OK" if abs(exact - value) <= tol else "FAIL",
+            )
+        )
+        closed = theorem2_lb(side2, lengths)
+        numeric = lower_bound_continuous(side2, lengths)
+        rel = abs(closed - numeric) / max(numeric, 1e-9)
+        rows.append(
+            (
+                f"thm2 2d l={lengths}",
+                round(numeric, 3),
+                round(closed, 3),
+                f"rel={rel:.3f}",
+                "OK" if numeric <= exact + 1e-9 else "FAIL",
+            )
+        )
+
+    m3 = side3 // 2
+    for length in [3, m3 // 2, m3, m3 + 2, side3 - 2]:
+        if length < 2:
+            continue
+        lengths3 = (length,) * 3
+        exact = exact_average_clustering(onion3, lengths3)
+        value = theorem4_value(side3, length)
+        rel = abs(exact - value) / max(exact, 1e-9)
+        rows.append(
+            (
+                f"thm4 3d l={length}",
+                round(exact, 3),
+                round(value, 3),
+                f"rel={rel:.3f}",
+                "OK" if (length > m3 and value >= exact - 1e-9) or rel < 0.35 else "FAIL",
+            )
+        )
+        closed = theorem5_lb_3d(side3, length)
+        numeric = lower_bound_continuous(side3, lengths3)
+        rows.append(
+            (
+                f"thm5 3d l={length}",
+                round(numeric, 3),
+                round(closed, 3),
+                "",
+                "OK" if numeric <= exact + 1e-9 else "FAIL",
+            )
+        )
+
+    return ExperimentResult(
+        experiment="theory",
+        title=f"closed forms vs exact computation (sides {side2}/{side3})",
+        headers=["quantity", "exact/numeric", "formula", "error", "status"],
+        rows=rows,
+        notes=["all rows expected OK"],
+    )

@@ -1,0 +1,24 @@
+"""SFC-backed spatial indexing and partitioning."""
+
+from .advisor import CurveScore, advise
+from .partition import (
+    average_shards_touched,
+    balanced_shards,
+    equal_key_shards,
+    shard_of_key,
+    shards_touched,
+)
+from .spatial import Record, RangeQueryResult, SFCIndex
+
+__all__ = [
+    "CurveScore",
+    "advise",
+    "Record",
+    "RangeQueryResult",
+    "SFCIndex",
+    "average_shards_touched",
+    "balanced_shards",
+    "equal_key_shards",
+    "shard_of_key",
+    "shards_touched",
+]

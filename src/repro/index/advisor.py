@@ -1,0 +1,89 @@
+"""Cost-based curve selection for a query workload.
+
+The practical payoff of the paper's analysis: given the query shapes an
+application expects, the *exact* average clustering number (Lemma 1,
+computed in O(n) per candidate curve) is a principled cost model for
+choosing the index's space filling curve — the clustering number is the
+seek count, and seeks dominate range-scan latency.
+
+``advise`` scores every candidate curve against a workload of query
+shapes (optionally weighted) and returns a ranked report.  The paper's
+theory predicts the outcome: the onion curve wins workloads dominated by
+large near-cubes, while for row-shaped workloads the row-major curve is
+unbeatable (Lemma 10 says no curve wins both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.exact import exact_average_clustering
+from ..curves.base import SpaceFillingCurve
+from ..errors import InvalidQueryError
+
+__all__ = ["CurveScore", "advise"]
+
+#: A workload entry: per-dimension query lengths, with an optional weight.
+WorkloadShape = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CurveScore:
+    """One candidate's expected cost over the workload."""
+
+    curve: SpaceFillingCurve
+    #: Weighted mean of exact average clustering numbers (expected seeks).
+    expected_seeks: float
+    #: Per-shape breakdown, keyed by the shape tuple.
+    per_shape: Dict[WorkloadShape, float]
+
+
+def advise(
+    curves: Sequence[SpaceFillingCurve],
+    shapes: Sequence[WorkloadShape],
+    weights: Optional[Sequence[float]] = None,
+) -> List[CurveScore]:
+    """Rank candidate curves by expected seeks over the workload.
+
+    All curves must share ``side`` and ``dim``; ``shapes`` are query side
+    lengths (each averaged exactly over all translations); ``weights``
+    default to uniform.  Returns scores sorted best (fewest expected
+    seeks) first.
+    """
+    if not curves:
+        raise InvalidQueryError("no candidate curves given")
+    if not shapes:
+        raise InvalidQueryError("empty workload")
+    side = curves[0].side
+    dim = curves[0].dim
+    for curve in curves:
+        if curve.side != side or curve.dim != dim:
+            raise InvalidQueryError(
+                "all candidate curves must share side and dimension"
+            )
+    if weights is None:
+        weights = [1.0] * len(shapes)
+    if len(weights) != len(shapes):
+        raise InvalidQueryError("weights must match shapes one-to-one")
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        raise InvalidQueryError("weights must sum to a positive value")
+
+    scores: List[CurveScore] = []
+    for curve in curves:
+        per_shape: Dict[WorkloadShape, float] = {}
+        expected = 0.0
+        for shape, weight in zip(shapes, weights):
+            cost = exact_average_clustering(curve, shape)
+            per_shape[tuple(int(l) for l in shape)] = cost
+            expected += weight * cost
+        scores.append(
+            CurveScore(
+                curve=curve,
+                expected_seeks=expected / total_weight,
+                per_shape=per_shape,
+            )
+        )
+    scores.sort(key=lambda s: s.expected_seeks)
+    return scores

@@ -1,0 +1,6 @@
+"""Simulated storage substrate: disk model and B+-tree."""
+
+from .bplustree import BPlusTree
+from .disk import DiskStats, SimulatedDisk
+
+__all__ = ["BPlusTree", "DiskStats", "SimulatedDisk"]

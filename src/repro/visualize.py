@@ -1,0 +1,90 @@
+"""ASCII visualization of curves and query clusters.
+
+Regenerates the *pictures* of the paper's Figures 1–3 in text form: key
+grids (Fig 3's numbered cells), curve paths, and cluster maps where every
+cell of a query is labelled by its cluster (the dotted regions of
+Figs 1–2).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List
+
+from .core.runs import query_runs
+from .curves.base import SpaceFillingCurve
+from .errors import InvalidQueryError
+from .geometry import Rect
+
+__all__ = ["render_keys", "render_path", "render_clusters"]
+
+_CLUSTER_LABELS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def _require_2d(curve: SpaceFillingCurve) -> None:
+    if curve.dim != 2:
+        raise InvalidQueryError(
+            f"visualization supports 2-d curves, got dim={curve.dim}"
+        )
+
+
+def render_keys(curve: SpaceFillingCurve) -> str:
+    """Every cell's key, highest row first (y grows upward), as in Fig 3."""
+    _require_2d(curve)
+    side = curve.side
+    width = len(str(curve.size - 1))
+    lines = []
+    for y in range(side - 1, -1, -1):
+        lines.append(
+            " ".join(f"{curve.index((x, y)):>{width}}" for x in range(side))
+        )
+    return "\n".join(lines)
+
+
+def render_path(curve: SpaceFillingCurve) -> str:
+    """Per-cell direction of the curve's outgoing step.
+
+    Unit steps render as arrows; jumps (discontinuous curves) as ``*``;
+    the final cell as ``o``.
+    """
+    _require_2d(curve)
+    side = curve.side
+    arrows = {(1, 0): ">", (-1, 0): "<", (0, 1): "^", (0, -1): "v"}
+    grid: List[List[str]] = [["?"] * side for _ in range(side)]
+    previous = None
+    for cell in curve.walk():
+        if previous is not None:
+            dx = cell[0] - previous[0]
+            dy = cell[1] - previous[1]
+            grid[previous[1]][previous[0]] = arrows.get((dx, dy), "*")
+        previous = cell
+    grid[previous[1]][previous[0]] = "o"
+    return "\n".join(" ".join(grid[y]) for y in range(side - 1, -1, -1))
+
+
+def render_clusters(curve: SpaceFillingCurve, rect: Rect) -> str:
+    """The query's cells labelled by cluster, everything else ``.``.
+
+    Each contiguous key run gets one letter (A, B, …), reproducing the
+    dotted cluster regions of the paper's Figures 1 and 2.
+    """
+    _require_2d(curve)
+    rect.check_fits(curve.side)
+    side = curve.side
+    runs = query_runs(curve, rect)
+    label_of_key = {}
+    for i, (start, end) in enumerate(runs):
+        label = _CLUSTER_LABELS[i % len(_CLUSTER_LABELS)]
+        for key in range(start, end + 1):
+            label_of_key[key] = label
+    lines = []
+    for y in range(side - 1, -1, -1):
+        row = []
+        for x in range(side):
+            if rect.contains((x, y)):
+                row.append(label_of_key[curve.index((x, y))])
+            else:
+                row.append(".")
+        lines.append(" ".join(row))
+    header = f"{len(runs)} cluster(s) under {curve.name}"
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,84 @@
+"""The exact difference-array clustering distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distribution import exact_cluster_distribution
+from repro.analysis.exact import exact_average_clustering
+from repro.core.clustering import clustering_number
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import all_translations
+
+
+def brute_distribution(curve, lengths):
+    extents = tuple(curve.side - l + 1 for l in lengths)
+    out = np.zeros(extents, dtype=np.int64)
+    for q in all_translations(curve.side, lengths):
+        out[q.lo] = clustering_number(curve, q)
+    return out
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+    @pytest.mark.parametrize("lengths", [(2, 2), (3, 5), (7, 7), (15, 2)])
+    def test_matches_brute_force_2d(self, name, lengths):
+        curve = make_curve(name, 16, 2)
+        dist = exact_cluster_distribution(curve, lengths)
+        assert (dist == brute_distribution(curve, lengths)).all()
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake"])
+    @pytest.mark.parametrize("lengths", [(2, 3, 4), (5, 5, 5)])
+    def test_matches_brute_force_3d(self, name, lengths):
+        curve = make_curve(name, 8, 3)
+        dist = exact_cluster_distribution(curve, lengths)
+        assert (dist == brute_distribution(curve, lengths)).all()
+
+    @given(st.integers(0, 2**31))
+    def test_random_shapes_on_onion(self, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve("onion", 12, 2)
+        lengths = tuple(int(v) for v in rng.integers(1, 13, size=2))
+        dist = exact_cluster_distribution(curve, lengths)
+        assert (dist == brute_distribution(curve, lengths)).all()
+
+    def test_mean_equals_lemma1_average(self):
+        curve = make_curve("hilbert", 32, 2)
+        for lengths in [(5, 9), (20, 20), (31, 2)]:
+            dist = exact_cluster_distribution(curve, lengths)
+            assert dist.mean() == pytest.approx(
+                exact_average_clustering(curve, lengths)
+            )
+
+    def test_batching_invariant(self):
+        curve = make_curve("onion", 16, 2)
+        a = exact_cluster_distribution(curve, (5, 7), batch_size=13)
+        b = exact_cluster_distribution(curve, (5, 7))
+        assert (a == b).all()
+
+
+class TestShapeAndGuards:
+    def test_output_shape(self):
+        curve = make_curve("onion", 16, 2)
+        dist = exact_cluster_distribution(curve, (3, 5))
+        assert dist.shape == (14, 12)
+
+    def test_full_size_query(self):
+        curve = make_curve("onion", 8, 2)
+        dist = exact_cluster_distribution(curve, (8, 8))
+        assert dist.shape == (1, 1)
+        assert dist[0, 0] == 1
+
+    def test_all_counts_positive(self):
+        curve = make_curve("zorder", 16, 2)
+        assert (exact_cluster_distribution(curve, (6, 6)) >= 1).all()
+
+    def test_dim_mismatch(self):
+        with pytest.raises(InvalidQueryError):
+            exact_cluster_distribution(make_curve("onion", 8, 2), (2, 2, 2))
+
+    def test_oversized(self):
+        with pytest.raises(InvalidQueryError):
+            exact_cluster_distribution(make_curve("onion", 8, 2), (9, 1))

@@ -1,0 +1,88 @@
+"""Exact average clustering (Lemma 1) against brute-force enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import exact_average_clustering, total_edge_crossings
+from repro.core.clustering import clustering_number
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import all_translations
+
+
+def brute_force_average(curve, lengths):
+    queries = list(all_translations(curve.side, lengths))
+    return float(
+        np.mean([clustering_number(curve, q) for q in queries])
+    )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+    @pytest.mark.parametrize("lengths", [(1, 1), (2, 2), (3, 5), (8, 3), (12, 12)])
+    def test_2d(self, name, lengths):
+        curve = make_curve(name, 16, 2)
+        assert exact_average_clustering(curve, lengths) == pytest.approx(
+            brute_force_average(curve, lengths)
+        )
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake"])
+    @pytest.mark.parametrize("lengths", [(2, 2, 2), (3, 5, 2), (7, 7, 7)])
+    def test_3d(self, name, lengths):
+        curve = make_curve(name, 8, 3)
+        assert exact_average_clustering(curve, lengths) == pytest.approx(
+            brute_force_average(curve, lengths)
+        )
+
+    def test_discontinuous_curve_with_jumps(self):
+        """The 3-d onion's piece jumps must be handled exactly."""
+        curve = make_curve("onion", 8, 3)
+        lengths = (5, 4, 6)
+        assert exact_average_clustering(curve, lengths) == pytest.approx(
+            brute_force_average(curve, lengths)
+        )
+
+
+class TestBatching:
+    def test_batch_size_does_not_change_result(self):
+        curve = make_curve("onion", 16, 2)
+        lengths = (5, 7)
+        full = exact_average_clustering(curve, lengths, batch_size=1 << 20)
+        tiny = exact_average_clustering(curve, lengths, batch_size=7)
+        assert full == pytest.approx(tiny)
+
+    def test_total_crossings_batch_invariant(self):
+        curve = make_curve("hilbert", 16, 2)
+        assert total_edge_crossings(curve, (4, 4), batch_size=11) == (
+            total_edge_crossings(curve, (4, 4), batch_size=1000)
+        )
+
+
+class TestEdgeCases:
+    def test_full_universe_query(self):
+        curve = make_curve("onion", 8, 2)
+        # Single placement covering everything: exactly one cluster.
+        assert exact_average_clustering(curve, (8, 8)) == pytest.approx(1.0)
+
+    def test_unit_query_always_one_cluster(self):
+        curve = make_curve("zorder", 8, 2)
+        assert exact_average_clustering(curve, (1, 1)) == pytest.approx(1.0)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            exact_average_clustering(make_curve("onion", 8, 2), (2, 2, 2))
+
+    def test_oversized_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            exact_average_clustering(make_curve("onion", 8, 2), (9, 2))
+
+
+class TestTheoremConsistency:
+    def test_row_query_average_on_rowmajor(self):
+        """Full-width queries on the row-major curve are single clusters."""
+        curve = make_curve("rowmajor", 16, 2)
+        assert exact_average_clustering(curve, (16, 1)) == pytest.approx(1.0)
+
+    def test_column_query_average_on_rowmajor(self):
+        curve = make_curve("rowmajor", 16, 2)
+        assert exact_average_clustering(curve, (1, 16)) == pytest.approx(16.0)

@@ -1,0 +1,55 @@
+"""Lemma 5: the Hilbert curve diverges on near-full cubes, the onion
+curve does not."""
+
+import pytest
+
+from repro.analysis.hilbert_gap import ScalingRow, growth_ratios, scaling_experiment
+
+
+class TestScalingExperiment2D:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scaling_experiment([32, 64, 128], dim=2, margin=10)
+
+    def test_hilbert_at_least_doubles(self, rows):
+        """Lemma 5 in 2-d: c(Q, H) grows at least linearly in sqrt(n)."""
+        for ratio in growth_ratios(rows):
+            assert ratio >= 2.0
+
+    def test_onion_is_flat(self, rows):
+        """Theorem 1: the onion value is a constant 2L/3 + O(1)."""
+        values = [r.onion for r in rows]
+        assert max(values) - min(values) < 1.0
+        bound = 2 * 11 / 3 + 4
+        assert all(v <= bound for v in values)
+
+    def test_gap_widens(self, rows):
+        gaps = [r.gap for r in rows]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > 2 * gaps[0]
+
+
+class TestScalingExperiment3D:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scaling_experiment([8, 16, 32], dim=3, margin=4)
+
+    def test_hilbert_grows_at_least_4x(self, rows):
+        """Lemma 5 in 3-d: growth exponent 2/3 means x4 per side doubling."""
+        for ratio in growth_ratios(rows):
+            assert ratio >= 4.0
+
+    def test_onion_is_bounded(self, rows):
+        # Theorem 4 large regime with L = 5: 3L²/5 + 13L/4 − 13/6.
+        bound = 0.6 * 25 + 3.25 * 5 - 13 / 6
+        assert all(r.onion <= bound for r in rows)
+
+
+class TestValidation:
+    def test_margin_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_experiment([8], dim=2, margin=8)
+
+    def test_row_gap_property(self):
+        row = ScalingRow(side=8, length=4, onion=2.0, hilbert=10.0)
+        assert row.gap == pytest.approx(5.0)

@@ -1,0 +1,196 @@
+"""Lower bounds: definitional λ/T numerics and the paper's closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import exact_average_clustering
+from repro.analysis.lower_bounds import (
+    lambda_map,
+    lemma7_lambda,
+    lemma8_t_closed,
+    lower_bound_any,
+    lower_bound_continuous,
+    t_sum,
+    theorem2_lb,
+    theorem5_lb_3d,
+)
+from repro.core.edges import gamma_pair
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+
+
+def brute_lambda(side, lengths, cell):
+    """Definition 2 by enumeration of the neighbors."""
+    dim = len(lengths)
+    best = None
+    for axis in range(dim):
+        for direction in (-1, 1):
+            neighbor = list(cell)
+            neighbor[axis] += direction
+            if not 0 <= neighbor[axis] < side:
+                continue
+            g = gamma_pair(side, lengths, tuple(cell), tuple(neighbor))
+            best = g if best is None else min(best, g)
+    return best
+
+
+class TestLambdaMap:
+    @pytest.mark.parametrize("lengths", [(2, 3), (5, 5), (7, 9), (1, 10)])
+    def test_matches_definition_2d(self, lengths):
+        side = 10
+        lam = lambda_map(side, lengths).reshape(side, side)
+        for i in range(side):
+            for j in range(side):
+                assert lam[i, j] == brute_lambda(side, lengths, (i, j))
+
+    def test_matches_definition_3d(self):
+        side, lengths = 6, (2, 3, 4)
+        lam = lambda_map(side, lengths).reshape(side, side, side)
+        for i in range(side):
+            for j in range(side):
+                for k in range(side):
+                    assert lam[i, j, k] == brute_lambda(side, lengths, (i, j, k))
+
+    def test_symmetry(self):
+        """λ inherits the reflection symmetries the paper states."""
+        side, lengths = 12, (4, 4)
+        lam = lambda_map(side, lengths).reshape(side, side)
+        assert (lam == lam.T).all()
+        assert (lam == lam[::-1, :]).all()
+        assert (lam == lam[:, ::-1]).all()
+
+
+class TestLemma7:
+    """Exact in the small regime; a documented overcount in the large one."""
+
+    @pytest.mark.parametrize("side", [12, 16])
+    def test_small_regime_exact(self, side):
+        m = side // 2
+        for lengths in [(2, 3), (3, m), (m, m), (1, 2)]:
+            lam = lambda_map(side, lengths).reshape(side, side)
+            for i in range(m):
+                for j in range(m):
+                    assert lemma7_lambda(side, lengths, i, j) == lam[i, j], (
+                        lengths,
+                        i,
+                        j,
+                    )
+
+    @pytest.mark.parametrize("side", [12, 16])
+    def test_large_regime_never_undercounts(self, side):
+        """Where Lemma 7 drifts from the definition it is an overcount,
+        so the paper's T stays an upper bound on the definitional T."""
+        m = side // 2
+        for lengths in [(m + 1, m + 2), (side - 1, side - 1)]:
+            lam = lambda_map(side, lengths).reshape(side, side)
+            for i in range(m):
+                for j in range(m):
+                    assert lemma7_lambda(side, lengths, i, j) >= lam[i, j]
+
+    def test_mixed_regime_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            lemma7_lambda(16, (3, 12), 0, 0)
+
+    def test_quadrant_guard(self):
+        with pytest.raises(InvalidQueryError):
+            lemma7_lambda(16, (2, 2), 8, 0)
+
+
+class TestLemma8:
+    @pytest.mark.parametrize("side", [12, 16, 32])
+    def test_small_regime_tracks_direct_sum(self, side):
+        """Closed form within an additive O(side) of the definitional T
+        (the observed drift is exactly m − 3, inside the paper's o(nℓ)
+        slack)."""
+        m = side // 2
+        for lengths in [(2, 3), (3, m), (m, m), (m // 2, m)]:
+            closed = lemma8_t_closed(side, lengths)
+            direct = t_sum(side, lengths)
+            assert abs(closed - direct) <= side
+
+    def test_large_regime_upper_bounds_direct_sum(self):
+        side = 16
+        for lengths in [(10, 11), (15, 15), (9, 9)]:
+            assert lemma8_t_closed(side, lengths) >= t_sum(side, lengths)
+
+    def test_mixed_regime_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            lemma8_t_closed(16, (3, 12))
+
+
+class TestBoundsHold:
+    """The fundamental soundness property: LB ≤ c for every curve."""
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake"])
+    @pytest.mark.parametrize("lengths", [(3, 3), (5, 9), (8, 8), (14, 14)])
+    def test_continuous_bound_2d(self, name, lengths):
+        side = 16
+        curve = make_curve(name, side, 2)
+        c = exact_average_clustering(curve, lengths)
+        assert lower_bound_continuous(side, lengths) <= c + 1e-9
+
+    @pytest.mark.parametrize("name", ["zorder", "gray", "rowmajor", "columnmajor"])
+    @pytest.mark.parametrize("lengths", [(3, 3), (5, 9), (8, 8)])
+    def test_any_bound_2d(self, name, lengths):
+        side = 16
+        curve = make_curve(name, side, 2)
+        c = exact_average_clustering(curve, lengths)
+        assert lower_bound_any(side, lengths) <= c + 1e-9
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake"])
+    @pytest.mark.parametrize("length", [2, 4, 6])
+    def test_bounds_3d(self, name, length):
+        side = 8
+        curve = make_curve(name, side, 3)
+        lengths = (length,) * 3
+        c = exact_average_clustering(curve, lengths)
+        if curve.is_continuous:
+            assert lower_bound_continuous(side, lengths) <= c + 1e-9
+        assert lower_bound_any(side, lengths) <= c + 1e-9
+
+    def test_any_is_half_of_continuous(self):
+        assert lower_bound_any(16, (4, 6)) == pytest.approx(
+            0.5 * lower_bound_continuous(16, (4, 6))
+        )
+
+    def test_unfit_lengths_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            lower_bound_continuous(8, (9, 1))
+
+
+class TestClosedFormBounds:
+    def test_theorem2_close_to_numeric_small_regime(self):
+        side = 128
+        for lengths in [(5, 10), (20, 30), (64, 64)]:
+            closed = theorem2_lb(side, lengths)
+            numeric = lower_bound_continuous(side, lengths)
+            assert closed == pytest.approx(numeric, rel=0.05)
+
+    def test_theorem2_mixed_regime_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            theorem2_lb(128, (10, 100))
+
+    def test_theorem5_sound_against_exact_onion(self):
+        """The (transcription-corrected) 3-d LB never exceeds the measured
+        onion clustering."""
+        side = 16
+        onion = make_curve("onion", side, 3)
+        for length in [2, 4, 6, 8, 10, 14]:
+            lb = theorem5_lb_3d(side, length)
+            c = exact_average_clustering(onion, (length,) * 3)
+            assert lb <= c + 1e-9
+
+    def test_theorem5_tracks_numeric_shape(self):
+        """Closed and numeric 3-d bounds agree within ~35% at side 16
+        (the theorem's o(ℓ²) residue at small sides)."""
+        side = 16
+        for length in [4, 6, 8]:
+            closed = theorem5_lb_3d(side, length)
+            numeric = lower_bound_continuous(side, (length,) * 3)
+            assert closed == pytest.approx(numeric, rel=0.35)
+
+    def test_theorem5_guards(self):
+        with pytest.raises(InvalidQueryError):
+            theorem5_lb_3d(15, 4)
+        with pytest.raises(InvalidQueryError):
+            theorem5_lb_3d(16, 1)

@@ -1,0 +1,83 @@
+"""Moon et al.'s constant-query law across curves."""
+
+import pytest
+
+from repro.analysis.exact import exact_average_clustering
+from repro.analysis.moon import moon_limit, surface_area
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+
+
+class TestFormulas:
+    def test_surface_area_2d(self):
+        # A 3x5 rect: 2*5 + 2*3 = 16 boundary-facing units.
+        assert surface_area((3, 5)) == 16
+
+    def test_surface_area_3d(self):
+        # The unit cube of side 2: 6 faces of 4 cells.
+        assert surface_area((2, 2, 2)) == 24
+
+    def test_moon_limit_2d_square(self):
+        # 2x2 square: SA = 8, 2d = 4 -> 2 clusters on average.
+        assert moon_limit((2, 2)) == pytest.approx(2.0)
+
+    def test_moon_limit_3d_cube(self):
+        assert moon_limit((2, 2, 2)) == pytest.approx(4.0)
+
+    def test_guards(self):
+        with pytest.raises(InvalidQueryError):
+            surface_area(())
+        with pytest.raises(InvalidQueryError):
+            surface_area((0, 2))
+
+
+class TestConvergence:
+    """Every continuous curve converges to the same constant-query limit."""
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert"])
+    @pytest.mark.parametrize("lengths", [(2, 2), (3, 4)])
+    def test_2d_balanced_curves(self, name, lengths):
+        """Direction-balanced continuous curves hit SA/2d for any shape."""
+        limit = moon_limit(lengths)
+        errors = []
+        for side in (32, 64, 128):
+            curve = make_curve(name, side, 2)
+            value = exact_average_clustering(curve, lengths)
+            errors.append(abs(value - limit))
+        assert errors[-1] < errors[0] or errors[-1] < 0.05 * limit
+        assert errors[-1] / limit < 0.15, (name, lengths, errors)
+
+    def test_snake_hits_limit_only_for_squares(self):
+        """The snake curve is direction-degenerate: SA/2d for squares,
+        but ℓ₂ (its dominant-direction crossing count) for rectangles."""
+        square = exact_average_clustering(make_curve("snake", 128, 2), (2, 2))
+        assert square == pytest.approx(moon_limit((2, 2)), rel=0.05)
+        rect = exact_average_clustering(make_curve("snake", 128, 2), (3, 4))
+        assert rect == pytest.approx(4.0, rel=0.05)  # ℓ₂, not SA/2d = 3.5
+
+    def test_peano_converges_too(self):
+        limit = moon_limit((2, 2))
+        value = exact_average_clustering(make_curve("peano", 81, 2), (2, 2))
+        assert value == pytest.approx(limit, rel=0.1)
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake"])
+    def test_3d_continuous_curves(self, name):
+        limit = moon_limit((2, 2, 2))
+        value = exact_average_clustering(make_curve(name, 32, 3), (2, 2, 2))
+        assert value == pytest.approx(limit, rel=0.15), name
+
+    def test_z_curve_exceeds_the_continuous_limit(self):
+        """Continuity is necessary: the Z curve's jumps cost extra
+        clusters even on constant queries."""
+        limit = moon_limit((2, 2))
+        value = exact_average_clustering(make_curve("zorder", 128, 2), (2, 2))
+        assert value > limit * 1.1
+
+    def test_onion_matches_hilbert_at_constant_queries(self):
+        """The µ = 0 story: at constant query sizes the curves tie —
+        the onion curve's advantage is a large-query phenomenon."""
+        side = 128
+        lengths = (3, 3)
+        onion = exact_average_clustering(make_curve("onion", side, 2), lengths)
+        hilbert = exact_average_clustering(make_curve("hilbert", side, 2), lengths)
+        assert onion == pytest.approx(hilbert, rel=0.05)

@@ -1,0 +1,86 @@
+"""Approximation ratios: the paper's constants 2.32 and 3.4."""
+
+import pytest
+
+from repro.analysis.ratios import (
+    ETA_BOUND_2D,
+    ETA_BOUND_3D,
+    PHI_STAR_2D,
+    PHI_STAR_3D,
+    eta_cube_2d,
+    eta_cube_3d,
+    eta_sweep,
+    maximize_eta_2d,
+    maximize_eta_3d,
+    measured_eta,
+    measured_eta_continuous,
+)
+from repro.curves import make_curve
+
+
+class TestAnalyticCurves:
+    def test_2d_maximum_reproduces_232(self):
+        """Table I headline: max_phi eta(phi) = 2.32 at phi = 0.355."""
+        phi, eta = maximize_eta_2d()
+        assert eta == pytest.approx(ETA_BOUND_2D, abs=0.01)
+        assert phi == pytest.approx(PHI_STAR_2D, abs=0.005)
+
+    def test_3d_maximum_reproduces_34(self):
+        """Table I headline: max_phi eta(phi) = 3.4 at phi = 0.3967."""
+        phi, eta = maximize_eta_3d()
+        assert eta == pytest.approx(ETA_BOUND_3D, abs=0.02)
+        assert phi == pytest.approx(PHI_STAR_3D, abs=0.005)
+
+    def test_2d_curve_tends_to_2_at_extremes(self):
+        """Cases II and IV of Section V-D: eta -> 2 away from the hump."""
+        assert eta_cube_2d(1e-6) == pytest.approx(2.0, abs=1e-3)
+        assert eta_cube_2d(0.5) == pytest.approx(2.0, abs=1e-9)
+
+    def test_3d_curve_tends_to_2_at_extremes(self):
+        assert eta_cube_3d(1e-6) == pytest.approx(2.0, abs=1e-3)
+        assert eta_cube_3d(0.5) == pytest.approx(2.0, abs=1e-9)
+
+    def test_curves_stay_below_their_bounds(self):
+        for i in range(1, 100):
+            phi = i / 200
+            assert eta_cube_2d(phi) <= ETA_BOUND_2D + 1e-6
+            assert eta_cube_3d(phi) <= ETA_BOUND_3D + 1e-6
+
+
+class TestMeasuredRatios:
+    def test_measured_2d_matches_analytic_at_worst_phi(self):
+        """At the maximizer, the finite-side measured 2η' approaches the
+        analytic 2.32 (within finite-size slack at side 128)."""
+        curve = make_curve("onion", 128, 2)
+        length = round(PHI_STAR_2D * 128)
+        eta = measured_eta(curve, (length, length))
+        assert eta == pytest.approx(ETA_BOUND_2D, abs=0.12)
+
+    def test_measured_eta_is_twice_continuous(self):
+        curve = make_curve("onion", 64, 2)
+        assert measured_eta(curve, (20, 20)) == pytest.approx(
+            2 * measured_eta_continuous(curve, (20, 20))
+        )
+
+    def test_onion_beats_hilbert_on_large_cubes(self):
+        side = 64
+        onion = make_curve("onion", side, 2)
+        hilbert = make_curve("hilbert", side, 2)
+        lengths = (side - 6, side - 6)
+        assert measured_eta(onion, lengths) < measured_eta(hilbert, lengths) / 3
+
+    def test_eta_sweep_shape(self):
+        onion = make_curve("onion", 64, 2)
+        result = eta_sweep([onion], [0.25, 0.5])
+        assert set(result) == {"onion"}
+        assert [phi for phi, _ in result["onion"]] == [0.25, 0.5]
+        assert all(eta > 0 for _, eta in result["onion"])
+
+    def test_onion_ratio_bounded_across_phis_2d(self):
+        """The measurable counterpart of 'near-optimal for all cube sizes':
+        at side 128 the onion ratio stays under the bound plus finite-size
+        slack for every phi <= 1/2."""
+        curve = make_curve("onion", 128, 2)
+        sweep = eta_sweep([curve], [0.1, 0.2, 0.3, 0.4, 0.5])["onion"]
+        for phi, eta in sweep:
+            assert eta <= ETA_BOUND_2D + 0.15, (phi, eta)

@@ -1,0 +1,78 @@
+"""Stretch metrics (the Gotsman–Lindenbaum locality measure)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stretch import (
+    StretchReport,
+    gotsman_lindenbaum_stretch,
+    neighbor_stretch,
+)
+from repro.curves import make_curve
+
+
+class TestNeighborStretch:
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "snake", "peano"])
+    def test_continuous_curves_have_unit_stretch(self, name):
+        side = 9 if name == "peano" else 16
+        report = neighbor_stretch(make_curve(name, side, 2))
+        assert report.worst == 1.0
+        assert report.average == pytest.approx(1.0)
+
+    def test_rowmajor_jumps_a_full_row(self):
+        report = neighbor_stretch(make_curve("rowmajor", 16, 2))
+        assert report.worst == 16.0  # wrap from (15, y) to (0, y+1)
+
+    def test_zorder_has_large_jumps(self):
+        report = neighbor_stretch(make_curve("zorder", 16, 2))
+        assert report.worst > 2
+        assert report.average > 1.0
+
+    def test_onion3d_jump_bounded_by_layer(self):
+        report = neighbor_stretch(make_curve("onion", 8, 3))
+        assert report.worst > 1  # the piece jumps
+        assert report.average < 2.0  # but they are rare
+
+    def test_batching_invariant(self):
+        curve = make_curve("hilbert", 16, 2)
+        a = neighbor_stretch(curve, batch_size=17)
+        b = neighbor_stretch(curve)
+        assert a == b
+
+
+class TestGotsmanLindenbaum:
+    def test_hilbert_stretch_is_bounded(self):
+        """Hilbert's classic locality: d² ≤ 6·|Δkey| (known constant)."""
+        report = gotsman_lindenbaum_stretch(make_curve("hilbert", 32, 2))
+        assert report.worst <= 6.5
+
+    def test_rowmajor_stretch_is_linear(self):
+        """Adjacent rows' cells are 1 apart in grid, side apart in key …
+        while cells side-apart in key can be distance ~1: stretch ~ side."""
+        side = 32
+        report = gotsman_lindenbaum_stretch(make_curve("rowmajor", side, 2))
+        assert report.worst >= side / 4
+
+    def test_onion_stretch_worse_than_hilbert(self):
+        """The trade-off the paper's conclusion hints at: the onion curve
+        buys clustering at some cost in stretch (opposite boundary cells
+        are close in key space only near the layer seam)."""
+        side = 32
+        onion = gotsman_lindenbaum_stretch(make_curve("onion", side, 2))
+        hilbert = gotsman_lindenbaum_stretch(make_curve("hilbert", side, 2))
+        assert onion.worst > hilbert.worst
+
+    def test_exhaustive_and_sampled_agree_in_order_of_magnitude(self):
+        curve = make_curve("hilbert", 8, 2)  # small: exhaustive path
+        exhaustive = gotsman_lindenbaum_stretch(curve)
+        sampled = gotsman_lindenbaum_stretch(
+            curve, exhaustive_limit=0, sample_pairs=5000,
+            rng=np.random.default_rng(1),
+        )
+        assert sampled.worst <= exhaustive.worst + 1e-9
+        assert sampled.average == pytest.approx(exhaustive.average, rel=0.5)
+
+    def test_report_is_frozen_dataclass(self):
+        report = StretchReport(worst=2.0, average=1.0)
+        with pytest.raises(AttributeError):
+            report.worst = 3.0

@@ -1,0 +1,67 @@
+"""Theorem 1 against the exact average clustering of the onion curve."""
+
+import pytest
+
+from repro.analysis.exact import exact_average_clustering
+from repro.analysis.theory2d import near_cube_estimate, theorem1_value
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("side", [32, 64, 128])
+    def test_small_regime_within_tolerance(self, side):
+        onion = make_curve("onion", side, 2)
+        m = side // 2
+        for lengths in [(2, 3), (5, m // 2), (m // 2, m), (m, m)]:
+            value, tol = theorem1_value(side, lengths)
+            exact = exact_average_clustering(onion, lengths)
+            assert abs(exact - value) <= tol, (side, lengths, exact, value)
+
+    @pytest.mark.parametrize("side", [32, 64, 128])
+    def test_large_regime_within_tolerance(self, side):
+        onion = make_curve("onion", side, 2)
+        m = side // 2
+        for lengths in [(m + 2, m + 5), (side - 3, side - 2), (side - 1, side - 1)]:
+            value, tol = theorem1_value(side, lengths)
+            exact = exact_average_clustering(onion, lengths)
+            assert abs(exact - value) <= tol, (side, lengths, exact, value)
+
+    def test_length_order_is_irrelevant(self):
+        assert theorem1_value(64, (5, 9)) == theorem1_value(64, (9, 5))
+
+    def test_mixed_regime_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            theorem1_value(64, (10, 50))
+
+    def test_odd_side_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            theorem1_value(63, (3, 3))
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            theorem1_value(64, (3, 3, 3))
+
+    def test_remark_value_at_half_side_cube(self):
+        """The near-cube remark: c(Q(m, m), O) ~ 2m/3."""
+        side = 256
+        m = side // 2
+        value, _ = theorem1_value(side, (m, m))
+        assert value == pytest.approx(2 * m / 3, rel=0.05)
+
+
+class TestNearCubeEstimate:
+    def test_mixed_regime_estimate_covers_exact(self):
+        """For ℓ₁ ≤ m ≤ ℓ₂ with small ψ's the 2m/3 estimate holds within
+        the stated slack."""
+        side = 128
+        m = side // 2
+        onion = make_curve("onion", side, 2)
+        for lengths in [(m - 2, m + 2), (m - 4, m + 1), (m, m + 3)]:
+            estimate, slack = near_cube_estimate(side, lengths)
+            exact = exact_average_clustering(onion, lengths)
+            assert abs(exact - estimate) <= slack
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            near_cube_estimate(64, (3,))

@@ -1,0 +1,53 @@
+"""Theorem 4 against the exact average clustering of the 3-d onion curve."""
+
+import pytest
+
+from repro.analysis.exact import exact_average_clustering
+from repro.analysis.theory3d import theorem4_is_upper_bound, theorem4_value
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("side", [16, 32])
+    def test_small_regime_relative_accuracy(self, side):
+        """The ℓ ≤ m expression carries o(ℓ²); at these sides it tracks the
+        exact value within 20%."""
+        onion = make_curve("onion", side, 3)
+        m = side // 2
+        for length in [3, m // 2, m - 1]:
+            value = theorem4_value(side, length)
+            exact = exact_average_clustering(onion, (length,) * 3)
+            assert value == pytest.approx(exact, rel=0.20), (side, length)
+
+    def test_relative_error_shrinks_with_side(self):
+        """The o(ℓ²) residue vanishes: doubling the side improves accuracy."""
+        errors = []
+        for side in (16, 32, 64):
+            length = side // 4
+            onion = make_curve("onion", side, 3)
+            exact = exact_average_clustering(onion, (length,) * 3)
+            value = theorem4_value(side, length)
+            errors.append(abs(exact - value) / exact)
+        assert errors[2] < errors[0]
+
+    @pytest.mark.parametrize("side", [16, 32])
+    def test_large_regime_is_upper_bound(self, side):
+        onion = make_curve("onion", side, 3)
+        m = side // 2
+        for length in [m + 1, side - 4, side - 2]:
+            assert theorem4_is_upper_bound(side, length)
+            value = theorem4_value(side, length)
+            exact = exact_average_clustering(onion, (length,) * 3)
+            assert value >= exact - 1e-9, (side, length, value, exact)
+
+    def test_small_regime_not_flagged_as_bound(self):
+        assert not theorem4_is_upper_bound(16, 4)
+
+    def test_guards(self):
+        with pytest.raises(InvalidQueryError):
+            theorem4_value(15, 3)
+        with pytest.raises(InvalidQueryError):
+            theorem4_value(16, 0)
+        with pytest.raises(InvalidQueryError):
+            theorem4_value(16, 17)

@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.curves import make_curve
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Curve-name/dimension pairs exercised by the generic cross-curve tests.
+ALL_CURVE_SPECS = [
+    ("onion", 2),
+    ("onion", 3),
+    ("hilbert", 2),
+    ("hilbert", 3),
+    ("zorder", 2),
+    ("zorder", 3),
+    ("gray", 2),
+    ("rowmajor", 2),
+    ("columnmajor", 2),
+    ("snake", 2),
+    ("snake", 3),
+]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=ALL_CURVE_SPECS, ids=lambda s: f"{s[0]}-{s[1]}d")
+def small_curve(request):
+    """Each registered curve on a small universe (side 8)."""
+    name, dim = request.param
+    return make_curve(name, 8, dim)
+
+
+@pytest.fixture(params=[spec for spec in ALL_CURVE_SPECS if spec[1] == 2],
+                ids=lambda s: f"{s[0]}-2d")
+def small_curve_2d(request):
+    """Each 2-d curve on a side-16 universe."""
+    name, _ = request.param
+    return make_curve(name, 16, 2)

@@ -1,0 +1,159 @@
+"""Cluster counting: all three algorithms agree with each other and with
+first principles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    average_clustering,
+    boundary_cells_array,
+    clustering_distribution,
+    clustering_number,
+    clustering_number_boundary,
+    clustering_number_exhaustive,
+    clustering_number_prefix,
+)
+from repro.curves import make_curve
+from repro.errors import CurveCapabilityError, InvalidQueryError
+from repro.geometry import Rect
+
+
+def random_rect(rng, side, dim, max_extent=None):
+    max_extent = max_extent or side
+    lo = rng.integers(0, side, size=dim)
+    extent = rng.integers(0, max_extent, size=dim)
+    hi = np.minimum(lo + extent, side - 1)
+    return Rect(tuple(lo), tuple(hi))
+
+
+class TestBoundaryCells:
+    def test_single_cell(self):
+        cells = boundary_cells_array(Rect((3, 4), (3, 4)))
+        assert cells.tolist() == [[3, 4]]
+
+    def test_line_rect(self):
+        cells = boundary_cells_array(Rect((1, 2), (1, 6)))
+        assert sorted(map(tuple, cells.tolist())) == [(1, y) for y in range(2, 7)]
+
+    def test_2d_ring(self):
+        rect = Rect((0, 0), (3, 3))
+        cells = set(map(tuple, boundary_cells_array(rect).tolist()))
+        expected = {
+            (x, y)
+            for x in range(4)
+            for y in range(4)
+            if x in (0, 3) or y in (0, 3)
+        }
+        assert cells == expected
+
+    def test_3d_shell_no_duplicates(self):
+        rect = Rect((1, 1, 1), (4, 5, 6))
+        cells = boundary_cells_array(rect)
+        tuples = list(map(tuple, cells.tolist()))
+        assert len(tuples) == len(set(tuples))
+        volume = rect.volume
+        interior = 2 * 3 * 4
+        assert len(tuples) == volume - interior
+
+
+class TestMethodAgreement:
+    """The exhaustive count is ground truth; every method must match it."""
+
+    def test_all_methods_all_curves(self, small_curve_2d, rng):
+        curve = small_curve_2d
+        for _ in range(25):
+            rect = random_rect(rng, curve.side, 2)
+            expected = clustering_number_exhaustive(curve, rect)
+            assert clustering_number(curve, rect) == expected
+            if curve.is_continuous or curve.has_sparse_discontinuities:
+                assert clustering_number_boundary(curve, rect) == expected
+            if curve.is_prefix_contiguous:
+                assert clustering_number_prefix(curve, rect) == expected
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "snake"])
+    def test_3d_agreement(self, name, rng):
+        curve = make_curve(name, 8, 3)
+        for _ in range(15):
+            rect = random_rect(rng, 8, 3)
+            assert clustering_number(curve, rect) == clustering_number_exhaustive(
+                curve, rect
+            )
+
+    @given(st.integers(0, 2**31))
+    def test_boundary_equals_exhaustive_onion3d(self, seed):
+        """The sparse-jump path (3-d onion) is the subtlest; hammer it."""
+        rng = np.random.default_rng(seed)
+        curve = make_curve("onion", 8, 3)
+        rect = random_rect(rng, 8, 3)
+        assert clustering_number_boundary(curve, rect) == (
+            clustering_number_exhaustive(curve, rect)
+        )
+
+
+class TestKnownValues:
+    def test_full_universe_is_one_cluster(self, small_curve_2d):
+        rect = Rect((0, 0), (15, 15))
+        assert clustering_number(small_curve_2d, rect) == 1
+
+    def test_single_cell_is_one_cluster(self, small_curve_2d):
+        assert clustering_number(small_curve_2d, Rect((5, 7), (5, 7))) == 1
+
+    def test_figure1_z_vs_hilbert(self):
+        """Fig 1's qualitative claim: a query where Z fragments more."""
+        hilbert = make_curve("hilbert", 8, 2)
+        zorder = make_curve("zorder", 8, 2)
+        rect = Rect((0, 0), (0, 3))
+        assert clustering_number(hilbert, rect) == 2
+        assert clustering_number(zorder, rect) == 4
+
+    def test_figure2_onion_vs_hilbert(self):
+        """Fig 2: the 7x7 query at (0,1) — onion 1, Hilbert 5."""
+        onion = make_curve("onion", 8, 2)
+        hilbert = make_curve("hilbert", 8, 2)
+        rect = Rect.from_origin((0, 1), (7, 7))
+        assert clustering_number(onion, rect) == 1
+        assert clustering_number(hilbert, rect) == 5
+
+    def test_row_query_on_rowmajor(self):
+        curve = make_curve("rowmajor", 8, 2)
+        assert clustering_number(curve, Rect((0, 3), (7, 3))) == 1
+        assert clustering_number(curve, Rect((3, 0), (3, 7))) == 8
+
+
+class TestDispatch:
+    def test_boundary_refused_for_incapable_curves(self):
+        zorder = make_curve("zorder", 8, 2)
+        with pytest.raises(CurveCapabilityError):
+            clustering_number_boundary(zorder, Rect((0, 0), (3, 3)))
+
+    def test_unknown_method_rejected(self):
+        onion = make_curve("onion", 8, 2)
+        with pytest.raises(InvalidQueryError):
+            clustering_number(onion, Rect((0, 0), (1, 1)), method="magic")
+
+    def test_method_override(self):
+        onion = make_curve("onion", 8, 2)
+        rect = Rect((1, 1), (5, 6))
+        assert clustering_number(onion, rect, method="exhaustive") == (
+            clustering_number(onion, rect, method="boundary")
+        )
+
+    def test_rect_outside_universe_rejected(self):
+        onion = make_curve("onion", 8, 2)
+        with pytest.raises(InvalidQueryError):
+            clustering_number(onion, Rect((0, 0), (8, 8)))
+
+
+class TestAggregation:
+    def test_distribution_and_average(self, rng):
+        curve = make_curve("onion", 16, 2)
+        rects = [random_rect(rng, 16, 2) for _ in range(10)]
+        dist = clustering_distribution(curve, rects)
+        assert dist.shape == (10,)
+        assert average_clustering(curve, rects) == pytest.approx(dist.mean())
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            average_clustering(make_curve("onion", 8, 2), [])

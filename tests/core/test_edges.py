@@ -1,0 +1,140 @@
+"""Crossing-edge formulas (Lemma 2 and the general pair form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.edges import (
+    gamma_neighbor_lemma2,
+    gamma_pair,
+    gamma_pair_many,
+    placements_containing,
+    placements_containing_many,
+)
+from repro.errors import InvalidQueryError
+from repro.geometry import all_translations
+
+
+def brute_force_gamma(side, lengths, alpha, beta):
+    """Count crossing placements by enumeration."""
+    return sum(
+        q.contains(alpha) != q.contains(beta)
+        for q in all_translations(side, lengths)
+    )
+
+
+def brute_force_containing(side, lengths, cell):
+    return sum(q.contains(cell) for q in all_translations(side, lengths))
+
+
+class TestPlacementsContaining:
+    @given(
+        st.integers(2, 10),
+        st.data(),
+    )
+    def test_matches_brute_force(self, side, data):
+        lengths = data.draw(
+            st.tuples(st.integers(1, side), st.integers(1, side))
+        )
+        cell = data.draw(
+            st.tuples(st.integers(0, side - 1), st.integers(0, side - 1))
+        )
+        assert placements_containing(side, lengths, cell) == brute_force_containing(
+            side, lengths, cell
+        )
+
+    def test_corner_cell_single_placement_for_unit_query(self):
+        assert placements_containing(8, (1, 1), (0, 0)) == 1
+
+    def test_center_cell_many_placements(self):
+        # 3x3 query, cell (4,4) in 8x8: 3 feasible origins per axis.
+        assert placements_containing(8, (3, 3), (4, 4)) == 9
+
+    def test_vectorized_matches_scalar(self, rng):
+        side = 12
+        lengths = (3, 7)
+        cells = rng.integers(0, side, size=(100, 2))
+        batch = placements_containing_many(side, lengths, cells)
+        assert batch.tolist() == [
+            placements_containing(side, lengths, tuple(c)) for c in cells
+        ]
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(InvalidQueryError):
+            placements_containing(8, (0, 1), (0, 0))
+
+
+class TestGammaPair:
+    @given(st.integers(2, 9), st.data())
+    def test_matches_brute_force_2d(self, side, data):
+        lengths = data.draw(st.tuples(st.integers(1, side), st.integers(1, side)))
+        alpha = data.draw(st.tuples(st.integers(0, side - 1), st.integers(0, side - 1)))
+        beta = data.draw(st.tuples(st.integers(0, side - 1), st.integers(0, side - 1)))
+        assert gamma_pair(side, lengths, alpha, beta) == brute_force_gamma(
+            side, lengths, alpha, beta
+        )
+
+    @given(st.integers(2, 5), st.data())
+    def test_matches_brute_force_3d(self, side, data):
+        lengths = data.draw(st.tuples(*[st.integers(1, side)] * 3))
+        alpha = data.draw(st.tuples(*[st.integers(0, side - 1)] * 3))
+        beta = data.draw(st.tuples(*[st.integers(0, side - 1)] * 3))
+        assert gamma_pair(side, lengths, alpha, beta) == brute_force_gamma(
+            side, lengths, alpha, beta
+        )
+
+    def test_identical_endpoints_never_cross(self):
+        assert gamma_pair(8, (3, 3), (2, 2), (2, 2)) == 0
+
+    def test_far_jump_counts_both_directions(self):
+        # A jump across the whole grid with a 1x1 query: each endpoint is
+        # entered once and left once.
+        assert gamma_pair(8, (1, 1), (0, 0), (7, 7)) == 2
+
+    def test_vectorized_matches_scalar(self, rng):
+        side = 10
+        lengths = (4, 7)
+        alphas = rng.integers(0, side, size=(200, 2))
+        betas = rng.integers(0, side, size=(200, 2))
+        batch = gamma_pair_many(side, lengths, alphas, betas)
+        assert batch.tolist() == [
+            gamma_pair(side, lengths, tuple(a), tuple(b))
+            for a, b in zip(alphas, betas)
+        ]
+
+
+class TestLemma2:
+    """The paper's neighbor-edge product formula is exact (validated
+    against the general form, hence against brute force)."""
+
+    @given(st.sampled_from([6, 8, 10, 12]), st.data())
+    def test_agrees_with_general_form_even_sides(self, side, data):
+        lengths = data.draw(st.tuples(st.integers(1, side), st.integers(1, side)))
+        x = data.draw(st.integers(0, side - 2))
+        y = data.draw(st.integers(0, side - 1))
+        axis = data.draw(st.integers(0, 1))
+        alpha = (x, y) if axis == 0 else (y, x)
+        beta = (x + 1, y) if axis == 0 else (y, x + 1)
+        assert gamma_neighbor_lemma2(side, lengths, alpha, beta) == gamma_pair(
+            side, lengths, alpha, beta
+        )
+
+    @given(st.sampled_from([4, 6, 8]), st.data())
+    def test_agrees_in_3d(self, side, data):
+        lengths = data.draw(st.tuples(*[st.integers(1, side)] * 3))
+        cell = list(data.draw(st.tuples(*[st.integers(0, side - 2)] * 3)))
+        axis = data.draw(st.integers(0, 2))
+        beta = list(cell)
+        beta[axis] += 1
+        assert gamma_neighbor_lemma2(
+            side, lengths, tuple(cell), tuple(beta)
+        ) == gamma_pair(side, lengths, tuple(cell), tuple(beta))
+
+    def test_rejects_non_neighbor_edges(self):
+        with pytest.raises(InvalidQueryError):
+            gamma_neighbor_lemma2(8, (2, 2), (0, 0), (2, 0))
+        with pytest.raises(InvalidQueryError):
+            gamma_neighbor_lemma2(8, (2, 2), (0, 0), (1, 1))
+        with pytest.raises(InvalidQueryError):
+            gamma_neighbor_lemma2(8, (2, 2), (1, 1), (1, 1))

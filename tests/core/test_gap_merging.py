@@ -1,0 +1,62 @@
+"""Gap-tolerant run merging (the relaxed retrieval model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.runs import merge_runs_with_gaps, query_runs
+from repro.curves import make_curve
+from repro.geometry import Rect
+
+
+class TestMergeRunsWithGaps:
+    def test_zero_tolerance_merges_only_adjacent(self):
+        runs = [(0, 3), (4, 6), (9, 10)]
+        assert merge_runs_with_gaps(runs, 0) == [(0, 6), (9, 10)]
+
+    def test_tolerance_bridges_gaps(self):
+        runs = [(0, 3), (6, 8), (20, 21)]
+        assert merge_runs_with_gaps(runs, 2) == [(0, 8), (20, 21)]
+        assert merge_runs_with_gaps(runs, 11) == [(0, 21)]
+
+    def test_empty(self):
+        assert merge_runs_with_gaps([], 5) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            merge_runs_with_gaps([(0, 1)], -1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 20)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(0, 50),
+    )
+    def test_merged_runs_cover_originals(self, raw, tolerance):
+        # Build sorted disjoint runs from raw (start, extra) pairs.
+        runs = []
+        cursor = 0
+        for start_offset, extra in raw:
+            start = cursor + start_offset + 2
+            runs.append((start, start + extra))
+            cursor = start + extra
+        merged = merge_runs_with_gaps(runs, tolerance)
+        # Coverage: every original key is inside some merged run.
+        for start, end in runs:
+            assert any(ms <= start and end <= me for ms, me in merged)
+        # Disjoint and sorted with gaps wider than the tolerance.
+        for (_, prev_end), (next_start, _) in zip(merged, merged[1:]):
+            assert next_start - prev_end - 1 > tolerance
+
+    def test_fewer_runs_with_more_tolerance(self):
+        curve = make_curve("hilbert", 32, 2)
+        rect = Rect((2, 2), (28, 29))
+        runs = query_runs(curve, rect)
+        previous = len(runs)
+        for tolerance in (0, 4, 16, 64, 1024):
+            merged = merge_runs_with_gaps(runs, tolerance)
+            assert len(merged) <= previous
+            previous = len(merged)
+        assert len(merge_runs_with_gaps(runs, curve.size)) == 1

@@ -1,0 +1,111 @@
+"""Metamorphic properties of the clustering number.
+
+These relations must hold for *any* curve and query — they follow from
+the definition alone, so they catch subtle counting bugs that
+example-based tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clustering import clustering_number
+from repro.curves import make_curve
+from repro.geometry import Rect
+
+CURVE_NAMES = ["onion", "hilbert", "zorder", "gray", "snake", "rowmajor"]
+
+
+def _random_rect(rng, side, dim):
+    lo = rng.integers(0, side, size=dim)
+    hi = np.minimum(lo + rng.integers(0, side, size=dim), side - 1)
+    return Rect(tuple(lo), tuple(hi))
+
+
+class TestSplitSubadditivity:
+    """Splitting a query along any axis: c(q) <= c(q1) + c(q2) (a cluster
+    of q is cut into at most one piece per half), and
+    c(q1) + c(q2) <= c(q) + extra clusters can appear — so also
+    c(q) >= max(c(q1), c(q2)) need not hold; only subadditivity does."""
+
+    @given(
+        st.sampled_from(CURVE_NAMES),
+        st.integers(0, 2**31),
+    )
+    def test_subadditive_under_axis_splits(self, name, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve(name, 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        axis = int(rng.integers(0, 2))
+        if rect.lo[axis] == rect.hi[axis]:
+            return
+        cut = int(rng.integers(rect.lo[axis], rect.hi[axis]))
+        hi1 = list(rect.hi)
+        hi1[axis] = cut
+        lo2 = list(rect.lo)
+        lo2[axis] = cut + 1
+        part1 = Rect(rect.lo, tuple(hi1))
+        part2 = Rect(tuple(lo2), rect.hi)
+        whole = clustering_number(curve, rect)
+        assert whole <= clustering_number(curve, part1) + clustering_number(
+            curve, part2
+        )
+
+
+class TestBounds:
+    @given(st.sampled_from(CURVE_NAMES), st.integers(0, 2**31))
+    def test_at_least_one_at_most_volume(self, name, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve(name, 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        c = clustering_number(curve, rect)
+        assert 1 <= c <= rect.volume
+
+    @given(st.sampled_from(CURVE_NAMES), st.integers(0, 2**31))
+    def test_at_most_half_volume_plus_one_rounded(self, name, seed):
+        """Clusters alternate with gaps in key order, so a query can have
+        at most ceil(|q| … ) — every cluster holds >= 1 cell, and between
+        two clusters there is >= 1 missing key, giving c <= (|q|+1)."""
+        rng = np.random.default_rng(seed)
+        curve = make_curve(name, 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        assert clustering_number(curve, rect) <= rect.volume
+
+    @pytest.mark.parametrize("name", CURVE_NAMES)
+    def test_row_of_continuous_curve_at_most_half_side_plus_one(self, name):
+        """For a 1-wide query of length L, clusters <= ceil(L/1) trivially;
+        for continuous curves a sharper sanity: c <= L."""
+        curve = make_curve(name, 16, 2)
+        rect = Rect((0, 7), (15, 7))
+        assert clustering_number(curve, rect) <= 16
+
+
+class TestSymmetry:
+    @given(st.integers(0, 2**31))
+    def test_onion_diagonal_near_symmetry(self, seed):
+        """The paper: the onion curve is 'almost symmetric' in the two
+        dimensions — transposed queries differ by at most a couple of
+        clusters (the missing edge e²_t of each layer breaks exactness)."""
+        rng = np.random.default_rng(seed)
+        curve = make_curve("onion", 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        transposed = Rect((rect.lo[1], rect.lo[0]), (rect.hi[1], rect.hi[0]))
+        a = clustering_number(curve, rect)
+        b = clustering_number(curve, transposed)
+        assert abs(a - b) <= 2
+
+    @given(st.integers(0, 2**31))
+    def test_translation_changes_clusters_boundedly_for_unit_shift(self, seed):
+        """Shifting a query by one cell changes the clustering number by
+        at most its cross-section (each cluster gains/loses at its rim)."""
+        rng = np.random.default_rng(seed)
+        curve = make_curve("hilbert", 16, 2)
+        lo = rng.integers(0, 14, size=2)
+        hi = np.minimum(lo + rng.integers(0, 8, size=2), 14)
+        rect = Rect(tuple(lo), tuple(hi))
+        shifted = rect.translate((1, 0))
+        a = clustering_number(curve, rect)
+        b = clustering_number(curve, shifted)
+        cross_section = rect.lengths[1]
+        assert abs(a - b) <= 2 * cross_section

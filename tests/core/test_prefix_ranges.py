@@ -1,0 +1,70 @@
+"""Aligned-block decomposition for prefix-contiguous curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix_ranges import block_ranges, merge_ranges
+from repro.curves import make_curve
+from repro.errors import CurveCapabilityError
+from repro.geometry import Rect
+
+
+class TestBlockRanges:
+    @pytest.mark.parametrize("name", ["zorder", "gray"])
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_ranges_cover_exactly_the_rect(self, name, dim, rng):
+        curve = make_curve(name, 8, dim)
+        for _ in range(20):
+            lo = rng.integers(0, 8, size=dim)
+            hi = np.minimum(lo + rng.integers(0, 5, size=dim), 7)
+            rect = Rect(tuple(lo), tuple(hi))
+            covered = set()
+            for start, size in block_ranges(curve, rect):
+                chunk = set(range(start, start + size))
+                assert not chunk & covered, "ranges overlap"
+                covered |= chunk
+            expected = {int(curve.index(c)) for c in rect.cells()}
+            assert covered == expected
+
+    def test_whole_universe_is_one_block(self):
+        curve = make_curve("zorder", 8, 2)
+        ranges = block_ranges(curve, Rect((0, 0), (7, 7)))
+        assert ranges == [(0, 64)]
+
+    def test_single_cell(self):
+        curve = make_curve("gray", 8, 2)
+        ranges = block_ranges(curve, Rect((3, 5), (3, 5)))
+        assert len(ranges) == 1
+        assert ranges[0][1] == 1
+        assert ranges[0][0] == curve.index((3, 5))
+
+    def test_refuses_non_prefix_curves(self):
+        onion = make_curve("onion", 8, 2)
+        with pytest.raises(CurveCapabilityError):
+            block_ranges(onion, Rect((0, 0), (1, 1)))
+
+    def test_block_count_is_subquadratic(self):
+        """The decomposition is O(perimeter · log side), far below volume."""
+        curve = make_curve("zorder", 64, 2)
+        rect = Rect((1, 1), (62, 62))
+        ranges = block_ranges(curve, rect)
+        assert len(ranges) < rect.volume / 4
+
+
+class TestMergeRanges:
+    def test_adjacent_ranges_merge(self):
+        assert merge_ranges([(0, 4), (4, 4), (10, 2)]) == [(0, 8), (10, 2)]
+
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+    def test_merge_count_equals_clustering_number(self, rng):
+        from repro.core.clustering import clustering_number_exhaustive
+
+        curve = make_curve("zorder", 16, 2)
+        for _ in range(20):
+            lo = rng.integers(0, 16, size=2)
+            hi = np.minimum(lo + rng.integers(0, 8, size=2), 15)
+            rect = Rect(tuple(lo), tuple(hi))
+            merged = merge_ranges(block_ranges(curve, rect))
+            assert len(merged) == clustering_number_exhaustive(curve, rect)

@@ -1,0 +1,126 @@
+"""Query generators of Section VII."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import (
+    columns_query_set,
+    fixed_ratio_rects,
+    random_corner_rects,
+    random_cubes,
+    random_rects,
+    rows_query_set,
+    translation_query_set,
+)
+from repro.errors import InvalidQueryError
+
+
+class TestRandomRects:
+    def test_count_and_shape(self, rng):
+        rects = random_rects(32, (4, 6), 25, rng)
+        assert len(rects) == 25
+        assert all(r.lengths == (4, 6) for r in rects)
+        assert all(r.fits_in(32) for r in rects)
+
+    def test_rejects_oversized(self, rng):
+        with pytest.raises(InvalidQueryError):
+            random_rects(8, (9, 1), 5, rng)
+
+    def test_rejects_zero_length(self, rng):
+        with pytest.raises(InvalidQueryError):
+            random_rects(8, (0, 1), 5, rng)
+
+    def test_full_size_rect_has_single_placement(self, rng):
+        rects = random_rects(8, (8, 8), 10, rng)
+        assert all(r.lo == (0, 0) for r in rects)
+
+    def test_reproducible(self):
+        a = random_rects(32, (3, 3), 10, np.random.default_rng(5))
+        b = random_rects(32, (3, 3), 10, np.random.default_rng(5))
+        assert a == b
+
+    def test_placements_cover_feasible_region(self):
+        """Over many draws, origins span the whole feasible range."""
+        rects = random_rects(16, (4, 4), 500, np.random.default_rng(0))
+        xs = {r.lo[0] for r in rects}
+        assert min(xs) == 0 and max(xs) == 12
+
+
+class TestRandomCubes:
+    def test_cubes_are_cubes(self, rng):
+        for r in random_cubes(32, 3, 5, 10, rng):
+            assert r.is_cube()
+            assert r.lengths == (5, 5, 5)
+
+
+class TestFixedRatioRects:
+    def test_algorithm1_shape(self, rng):
+        """Matches Algorithm 1: long side sweeps down in `step` decrements,
+        short side is floor(long/ratio)."""
+        rects = fixed_ratio_rects(64, 2, 2.0, rng, step=16, per_length=3)
+        lengths = {r.lengths for r in rects}
+        for l1, l2 in lengths:
+            assert l1 == l2 // 2
+
+    def test_infeasible_shapes_skipped(self, rng):
+        # ratio < 1 makes l1 > l2; shapes with l1 > side are dropped.
+        rects = fixed_ratio_rects(64, 2, 1 / 4, rng, step=16, per_length=2)
+        assert all(r.lengths[0] <= 64 for r in rects)
+        assert rects, "some shapes must remain feasible"
+
+    def test_extreme_ratio_yields_thin_rects(self, rng):
+        """Ratios above the side give l1 = floor(l2/ratio) = 0 → skipped
+        until l2 is large enough; surviving shapes are 1-cell thin."""
+        rects = fixed_ratio_rects(1024, 2, 1024.0, rng, step=256, per_length=2)
+        assert rects
+        assert all(r.lengths[0] == r.lengths[1] // 1024 for r in rects)
+
+    def test_3d_extension(self, rng):
+        rects = fixed_ratio_rects(32, 3, 2.0, rng, step=8, per_length=2)
+        for r in rects:
+            l1, l2, l3 = r.lengths
+            assert l2 == l3
+            assert l1 == l2 // 2
+
+    def test_rejects_non_positive_ratio(self, rng):
+        with pytest.raises(InvalidQueryError):
+            fixed_ratio_rects(32, 2, 0.0, rng)
+
+
+class TestRandomCornerRects:
+    def test_bounding_boxes(self, rng):
+        rects = random_corner_rects(32, 3, 50, rng)
+        assert len(rects) == 50
+        assert all(r.fits_in(32) for r in rects)
+
+    def test_degenerate_single_cell_possible(self):
+        """When both corners coincide the rect is a single cell."""
+        rects = random_corner_rects(2, 2, 200, np.random.default_rng(1))
+        assert any(r.volume == 1 for r in rects)
+
+
+class TestRowColumnSets:
+    def test_rows(self):
+        rows = rows_query_set(8)
+        assert len(rows) == 8
+        assert all(r.lengths == (8, 1) for r in rows)
+
+    def test_columns(self):
+        cols = columns_query_set(8)
+        assert len(cols) == 8
+        assert all(r.lengths == (1, 8) for r in cols)
+
+    def test_rows_and_columns_disjoint_for_side_over_one(self):
+        assert not set(r.lo + r.hi for r in rows_query_set(4)) & set(
+            c.lo + c.hi for c in columns_query_set(4)
+        )
+
+
+class TestTranslationQuerySet:
+    def test_enumerates_all(self):
+        qs = translation_query_set(6, (2, 3))
+        assert len(qs) == 5 * 4
+
+    def test_refuses_explosive_sets(self):
+        with pytest.raises(InvalidQueryError):
+            translation_query_set(4096, (2, 2))

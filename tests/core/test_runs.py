@@ -1,0 +1,80 @@
+"""Key-run decomposition: exact coverage for every curve type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clustering import clustering_number_exhaustive
+from repro.core.runs import query_runs
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import Rect
+
+
+def _covered_keys(runs):
+    covered = set()
+    for start, end in runs:
+        assert start <= end
+        chunk = set(range(start, end + 1))
+        assert not chunk & covered, "runs overlap"
+        covered |= chunk
+    return covered
+
+
+class TestRunsExactness:
+    def test_runs_cover_exactly_the_query(self, small_curve_2d, rng):
+        curve = small_curve_2d
+        for _ in range(25):
+            lo = rng.integers(0, curve.side, size=2)
+            hi = np.minimum(lo + rng.integers(0, 7, size=2), curve.side - 1)
+            rect = Rect(tuple(lo), tuple(hi))
+            runs = query_runs(curve, rect)
+            expected = {int(k) for k in curve.index_many(rect.cells_array())}
+            assert _covered_keys(runs) == expected
+
+    def test_run_count_equals_clustering_number(self, small_curve_2d, rng):
+        curve = small_curve_2d
+        for _ in range(25):
+            lo = rng.integers(0, curve.side, size=2)
+            hi = np.minimum(lo + rng.integers(0, 7, size=2), curve.side - 1)
+            rect = Rect(tuple(lo), tuple(hi))
+            assert len(query_runs(curve, rect)) == clustering_number_exhaustive(
+                curve, rect
+            )
+
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "snake"])
+    def test_3d_runs(self, name, rng):
+        curve = make_curve(name, 8, 3)
+        for _ in range(15):
+            lo = rng.integers(0, 8, size=3)
+            hi = np.minimum(lo + rng.integers(0, 4, size=3), 7)
+            rect = Rect(tuple(lo), tuple(hi))
+            runs = query_runs(curve, rect)
+            expected = {int(k) for k in curve.index_many(rect.cells_array())}
+            assert _covered_keys(runs) == expected
+
+    @given(st.integers(0, 2**31))
+    def test_onion3d_runs_property(self, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve("onion", 8, 3)
+        lo = rng.integers(0, 8, size=3)
+        hi = np.minimum(lo + rng.integers(0, 6, size=3), 7)
+        rect = Rect(tuple(lo), tuple(hi))
+        runs = query_runs(curve, rect)
+        expected = {int(k) for k in curve.index_many(rect.cells_array())}
+        assert _covered_keys(runs) == expected
+
+    def test_runs_are_sorted(self, small_curve_2d):
+        rect = Rect((2, 3), (9, 11))
+        runs = query_runs(small_curve_2d, rect)
+        assert runs == sorted(runs)
+
+    def test_full_universe_single_run(self, small_curve_2d):
+        side = small_curve_2d.side
+        runs = query_runs(small_curve_2d, Rect((0, 0), (side - 1, side - 1)))
+        assert runs == [(0, small_curve_2d.size - 1)]
+
+    def test_rejects_oversized_rect(self):
+        with pytest.raises(InvalidQueryError):
+            query_runs(make_curve("onion", 8, 2), Rect((0, 0), (8, 0)))

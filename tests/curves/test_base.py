@@ -1,0 +1,110 @@
+"""Contract tests for the :class:`SpaceFillingCurve` base class."""
+
+import numpy as np
+import pytest
+
+from repro.curves import OnionCurve2D, ZOrderCurve, make_curve
+from repro.errors import OutOfUniverseError
+
+
+class TestIdentity:
+    def test_sizing(self):
+        curve = make_curve("onion", 8, 2)
+        assert curve.side == 8
+        assert curve.dim == 2
+        assert curve.size == 64
+
+    def test_repr_mentions_parameters(self):
+        assert "side=8" in repr(make_curve("hilbert", 8, 3))
+
+    def test_equality_and_hash(self):
+        a = OnionCurve2D(8)
+        b = OnionCurve2D(8)
+        c = OnionCurve2D(16)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != ZOrderCurve(8, 2)
+
+    def test_name(self):
+        assert make_curve("onion", 8, 2).name == "onion"
+        assert make_curve("zorder", 8, 2).name == "zorder"
+
+
+class TestValidation:
+    def test_index_rejects_outside_cell(self, small_curve):
+        with pytest.raises(OutOfUniverseError):
+            small_curve.index((small_curve.side,) * small_curve.dim)
+
+    def test_index_rejects_wrong_dim(self, small_curve):
+        with pytest.raises(OutOfUniverseError):
+            small_curve.index((0,) * (small_curve.dim + 1))
+
+    def test_point_rejects_bad_keys(self, small_curve):
+        with pytest.raises(OutOfUniverseError):
+            small_curve.point(-1)
+        with pytest.raises(OutOfUniverseError):
+            small_curve.point(small_curve.size)
+
+    def test_index_many_rejects_out_of_range(self, small_curve):
+        bad = np.full((2, small_curve.dim), small_curve.side, dtype=np.int64)
+        with pytest.raises(OutOfUniverseError):
+            small_curve.index_many(bad)
+
+    def test_point_many_rejects_out_of_range(self, small_curve):
+        with pytest.raises(OutOfUniverseError):
+            small_curve.point_many(np.asarray([small_curve.size]))
+
+
+class TestTraversal:
+    def test_walk_covers_every_cell_once(self, small_curve):
+        cells = list(small_curve.walk())
+        assert len(cells) == small_curve.size
+        assert len(set(cells)) == small_curve.size
+
+    def test_edges_count(self, small_curve):
+        assert sum(1 for _ in small_curve.edges()) == small_curve.size - 1
+
+    def test_first_and_last_cells(self, small_curve):
+        assert small_curve.first_cell == small_curve.point(0)
+        assert small_curve.last_cell == small_curve.point(small_curve.size - 1)
+
+    def test_verify_bijection_passes(self, small_curve):
+        small_curve.verify_bijection()
+
+    def test_continuity_flag_is_truthful(self, small_curve):
+        if small_curve.is_continuous:
+            small_curve.verify_continuity()
+            assert not list(small_curve.discontinuities())
+        else:
+            jumps = list(small_curve.discontinuities())
+            assert jumps, f"{small_curve} flagged discontinuous but has no jumps"
+
+    def test_discontinuities_are_real_jumps(self, small_curve):
+        for cell in small_curve.discontinuities():
+            key = small_curve.index(cell)
+            prev = small_curve.point(key - 1)
+            step = sum(abs(a - b) for a, b in zip(cell, prev))
+            assert step != 1
+
+
+class TestVectorizedDefaults:
+    def test_index_many_matches_scalar(self, small_curve):
+        cells = np.asarray(list(small_curve.walk()), dtype=np.int64)
+        keys = small_curve.index_many(cells)
+        expected = [small_curve.index(tuple(c)) for c in cells]
+        assert keys.tolist() == expected
+
+    def test_point_many_matches_scalar(self, small_curve):
+        keys = np.arange(small_curve.size, dtype=np.int64)
+        points = small_curve.point_many(keys)
+        expected = [small_curve.point(int(k)) for k in keys]
+        assert [tuple(p) for p in points.tolist()] == expected
+
+    def test_empty_batches(self, small_curve):
+        assert small_curve.index_many(
+            np.empty((0, small_curve.dim), dtype=np.int64)
+        ).shape == (0,)
+        assert small_curve.point_many(np.empty(0, dtype=np.int64)).shape == (
+            0,
+            small_curve.dim,
+        )

@@ -1,0 +1,114 @@
+"""Unit and property tests for :mod:`repro.curves._bits`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves._bits import (
+    MAX_VECTOR_BITS,
+    bits_for_side,
+    deinterleave,
+    deinterleave_many,
+    gray_decode,
+    gray_decode_many,
+    gray_encode,
+    gray_encode_many,
+    interleave,
+    interleave_many,
+)
+from repro.errors import InvalidUniverseError
+
+
+class TestBitsForSide:
+    @pytest.mark.parametrize("side,expected", [(2, 1), (4, 2), (8, 3), (1024, 10)])
+    def test_powers_of_two(self, side, expected):
+        assert bits_for_side(side) == expected
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(InvalidUniverseError):
+            bits_for_side(bad)
+
+
+class TestInterleave:
+    def test_known_2d_values(self):
+        # x = fastest-varying axis: bit 0 of coord 0 is key bit 0.
+        assert interleave((1, 0), 1) == 1
+        assert interleave((0, 1), 1) == 2
+        assert interleave((1, 1), 1) == 3
+        assert interleave((2, 3), 2) == 0b1110
+
+    def test_3d(self):
+        assert interleave((1, 1, 1), 1) == 7
+        assert interleave((0, 0, 1), 1) == 4
+
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=4),
+    )
+    def test_roundtrip(self, coords):
+        key = interleave(coords, 8)
+        assert deinterleave(key, len(coords), 8) == list(coords)
+
+    @given(st.integers(2, 4), st.integers(1, 6), st.data())
+    def test_order_preserving_within_block(self, dim, bits, data):
+        # Interleaving is a bijection onto [0, 2**(dim*bits)).
+        keys = set()
+        for _ in range(20):
+            coords = data.draw(
+                st.lists(st.integers(0, 2**bits - 1), min_size=dim, max_size=dim)
+            )
+            keys.add(interleave(coords, bits))
+        assert all(0 <= k < 2 ** (dim * bits) for k in keys)
+
+
+class TestGray:
+    def test_known_values(self):
+        assert [gray_encode(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 2**40))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(0, 2**30 - 1))
+    def test_adjacent_gray_codes_differ_in_one_bit(self, value):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert diff and diff & (diff - 1) == 0
+
+
+class TestVectorized:
+    @given(st.integers(1, 4), st.integers(1, 8), st.integers(0, 2**32))
+    def test_interleave_many_matches_scalar(self, dim, bits, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, 2**bits, size=(32, dim), dtype=np.int64)
+        keys = interleave_many(coords, bits)
+        expected = [interleave(tuple(row), bits) for row in coords]
+        assert keys.tolist() == expected
+
+    @given(st.integers(1, 4), st.integers(1, 8), st.integers(0, 2**32))
+    def test_deinterleave_many_matches_scalar(self, dim, bits, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 2 ** (dim * bits), size=64, dtype=np.int64)
+        coords = deinterleave_many(keys, dim, bits)
+        expected = [deinterleave(int(k), dim, bits) for k in keys]
+        assert coords.tolist() == expected
+
+    def test_gray_many_roundtrip(self):
+        values = np.arange(4096, dtype=np.int64)
+        assert (gray_decode_many(gray_encode_many(values), 13) == values).all()
+
+    def test_gray_many_matches_scalar(self):
+        values = np.arange(1000, dtype=np.int64)
+        encoded = gray_encode_many(values)
+        assert encoded.tolist() == [gray_encode(int(v)) for v in values]
+
+    def test_width_guard(self):
+        with pytest.raises(InvalidUniverseError):
+            interleave_many(np.zeros((1, 4), dtype=np.int64), 16)
+
+    def test_interleave_many_shape_check(self):
+        with pytest.raises(ValueError):
+            interleave_many(np.zeros(4, dtype=np.int64), 2)
+
+    def test_max_vector_bits_constant_sane(self):
+        assert 32 <= MAX_VECTOR_BITS <= 63

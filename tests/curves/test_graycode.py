@@ -1,0 +1,69 @@
+"""The Gray-code curve (Faloutsos)."""
+
+import numpy as np
+import pytest
+
+from repro.curves import GrayCodeCurve
+from repro.curves._bits import interleave
+from repro.errors import InvalidUniverseError
+
+
+class TestDefinition:
+    def test_consecutive_cells_differ_in_one_interleaved_bit(self):
+        """The defining property: successive keys flip exactly one bit of
+        the interleaved coordinate word."""
+        curve = GrayCodeCurve(8, 2)
+        previous = None
+        for key in range(curve.size):
+            cell = curve.point(key)
+            word = interleave(cell, curve.bits)
+            if previous is not None:
+                diff = word ^ previous
+                assert diff and diff & (diff - 1) == 0
+            previous = word
+
+    def test_starts_at_origin(self):
+        assert GrayCodeCurve(8, 2).point(0) == (0, 0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side,dim", [(2, 2), (8, 2), (16, 2), (4, 3)])
+    def test_bijection(self, side, dim):
+        GrayCodeCurve(side, dim).verify_bijection()
+
+    def test_not_continuous_in_grid_space(self):
+        curve = GrayCodeCurve(8, 2)
+        assert not curve.is_continuous
+        assert list(curve.discontinuities())
+
+    def test_rejects_non_power_side(self):
+        with pytest.raises(InvalidUniverseError):
+            GrayCodeCurve(10, 2)
+
+
+class TestBlockRanges:
+    def test_block_key_range_is_exact(self):
+        curve = GrayCodeCurve(8, 2)
+        for level in range(4):
+            block = 1 << level
+            for cx in range(0, 8, block):
+                for cy in range(0, 8, block):
+                    start, size = curve.block_key_range((cx, cy), level)
+                    keys = sorted(
+                        curve.index((cx + dx, cy + dy))
+                        for dx in range(block)
+                        for dy in range(block)
+                    )
+                    assert keys == list(range(start, start + size))
+
+    def test_vectorized_matches_scalar(self):
+        curve = GrayCodeCurve(16, 2)
+        rng = np.random.default_rng(9)
+        cells = rng.integers(0, 16, size=(200, 2))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+        keys = rng.integers(0, curve.size, size=200)
+        assert [tuple(p) for p in curve.point_many(keys).tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]

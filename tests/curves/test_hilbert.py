@@ -1,0 +1,101 @@
+"""The d-dimensional Hilbert curve (Skilling's algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.curves import HilbertCurve
+from repro.errors import InvalidUniverseError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bad", [3, 5, 6, 7, 12, 100])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(InvalidUniverseError):
+            HilbertCurve(bad, 2)
+
+    def test_rejects_side_one(self):
+        with pytest.raises(InvalidUniverseError):
+            HilbertCurve(1, 2)
+
+    def test_bits(self):
+        assert HilbertCurve(8, 2).bits == 3
+        assert HilbertCurve(1024, 2).bits == 10
+
+
+class TestKnownValues:
+    def test_order1_2d(self):
+        """The 2x2 Hilbert curve visits (0,0),(0,1),(1,1),(1,0)."""
+        curve = HilbertCurve(2, 2)
+        walk = [curve.point(k) for k in range(4)]
+        assert walk[0] == (0, 0)
+        assert walk[-1] == (1, 0)
+        assert set(walk) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_starts_at_origin(self):
+        for dim in (2, 3, 4):
+            assert HilbertCurve(4, dim).point(0) == (0,) * dim
+
+    def test_ends_adjacent_to_origin_axis(self):
+        """The 2-d Hilbert curve's last cell is the opposite corner of the
+        first axis, one step from closing the loop edge-wise."""
+        curve = HilbertCurve(8, 2)
+        assert curve.last_cell == (7, 0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side,dim", [(2, 2), (4, 2), (8, 2), (16, 2),
+                                          (2, 3), (4, 3), (8, 3), (2, 4), (4, 4)])
+    def test_bijection(self, side, dim):
+        HilbertCurve(side, dim).verify_bijection()
+
+    @pytest.mark.parametrize("side,dim", [(2, 2), (4, 2), (8, 2), (16, 2),
+                                          (2, 3), (4, 3), (8, 3), (2, 4), (4, 4)])
+    def test_continuity(self, side, dim):
+        """Continuity is the strong correctness witness for Skilling's
+        transform: any packing/orientation mistake breaks unit steps."""
+        HilbertCurve(side, dim).verify_continuity()
+
+    def test_nested_blocks_are_contiguous(self):
+        """Each quadrant of the 2-d curve occupies one contiguous key
+        quarter (the recursive-tiling property)."""
+        curve = HilbertCurve(8, 2)
+        quarter = curve.size // 4
+        for q in range(4):
+            cells = {curve.point(k) for k in range(q * quarter, (q + 1) * quarter)}
+            xs = {c[0] for c in cells}
+            ys = {c[1] for c in cells}
+            assert max(xs) - min(xs) == 3
+            assert max(ys) - min(ys) == 3
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("side,dim", [(8, 2), (16, 2), (8, 3), (4, 4)])
+    def test_index_many_matches_scalar(self, side, dim):
+        curve = HilbertCurve(side, dim)
+        rng = np.random.default_rng(side * dim)
+        cells = rng.integers(0, side, size=(300, dim))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+
+    @pytest.mark.parametrize("side,dim", [(8, 2), (16, 2), (8, 3), (4, 4)])
+    def test_point_many_matches_scalar(self, side, dim):
+        curve = HilbertCurve(side, dim)
+        rng = np.random.default_rng(side * dim + 1)
+        keys = rng.integers(0, curve.size, size=300)
+        points = curve.point_many(keys)
+        assert [tuple(p) for p in points.tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]
+
+    def test_large_universe_vectorized(self):
+        """The paper's 2¹⁰-side universe works through the int64 kernels."""
+        curve = HilbertCurve(1024, 2)
+        rng = np.random.default_rng(42)
+        cells = rng.integers(0, 1024, size=(1000, 2))
+        keys = curve.index_many(cells)
+        back = curve.point_many(keys)
+        assert (back == cells).all()
+        # spot-check scalar agreement
+        for i in range(0, 1000, 100):
+            assert curve.index(tuple(cells[i])) == keys[i]

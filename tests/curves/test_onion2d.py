@@ -1,0 +1,116 @@
+"""The 2-d onion curve against the paper's inductive definition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import OnionCurve2D, onion2d_index_recursive
+from repro.curves.onion2d import onion2d_index_array, onion2d_point_array
+from repro.errors import OutOfUniverseError
+
+
+class TestPaperDefinition:
+    def test_o2_base_case(self):
+        """Figure 3 left: the 2x2 onion curve."""
+        curve = OnionCurve2D(2)
+        assert curve.index((0, 0)) == 0
+        assert curve.index((1, 0)) == 1
+        assert curve.index((1, 1)) == 2
+        assert curve.index((0, 1)) == 3
+
+    def test_o4_matches_figure3(self):
+        """Figure 3 right: the 4x4 onion curve — outer ring 0..11 counter-
+        clockwise from the origin, inner 2x2 ring 12..15."""
+        curve = OnionCurve2D(4)
+        expected = {
+            (0, 0): 0, (1, 0): 1, (2, 0): 2, (3, 0): 3,
+            (3, 1): 4, (3, 2): 5, (3, 3): 6,
+            (2, 3): 7, (1, 3): 8, (0, 3): 9,
+            (0, 2): 10, (0, 1): 11,
+            (1, 1): 12, (2, 1): 13, (2, 2): 14, (1, 2): 15,
+        }
+        for cell, key in expected.items():
+            assert curve.index(cell) == key, cell
+
+    @pytest.mark.parametrize("side", [2, 4, 6, 8, 10, 12])
+    def test_closed_form_equals_recursion(self, side):
+        curve = OnionCurve2D(side)
+        for x in range(side):
+            for y in range(side):
+                assert curve.index((x, y)) == onion2d_index_recursive(side, (x, y))
+
+    def test_recursion_rejects_outside(self):
+        with pytest.raises(OutOfUniverseError):
+            onion2d_index_recursive(4, (4, 0))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side", [1, 2, 3, 4, 5, 8, 9, 16])
+    def test_bijection_all_sides(self, side):
+        OnionCurve2D(side).verify_bijection()
+
+    @pytest.mark.parametrize("side", [1, 2, 3, 4, 5, 8, 9, 16])
+    def test_continuity_all_sides(self, side):
+        """The 2-d onion curve is continuous even for odd sides."""
+        OnionCurve2D(side).verify_continuity()
+
+    def test_layers_are_key_contiguous(self):
+        """All of layer t is numbered before any of layer t+1 (the curve's
+        defining property)."""
+        side = 10
+        curve = OnionCurve2D(side)
+        previous_layer = 1
+        for key in range(curve.size):
+            layer = curve.layer_of(curve.point(key))
+            assert layer >= previous_layer
+            previous_layer = layer
+
+    def test_starts_at_origin_ends_at_center(self):
+        curve = OnionCurve2D(8)
+        assert curve.first_cell == (0, 0)
+        center = curve.last_cell
+        assert curve.layer_of(center) == 4
+
+    def test_dim_guard(self):
+        with pytest.raises(OutOfUniverseError):
+            OnionCurve2D(8, dim=3)
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("side", [2, 5, 8, 13, 64])
+    def test_index_many_matches_scalar(self, side):
+        curve = OnionCurve2D(side)
+        rng = np.random.default_rng(side)
+        cells = rng.integers(0, side, size=(200, 2))
+        keys = curve.index_many(cells)
+        assert keys.tolist() == [curve.index(tuple(c)) for c in cells]
+
+    @pytest.mark.parametrize("side", [2, 5, 8, 13, 64])
+    def test_point_many_matches_scalar(self, side):
+        curve = OnionCurve2D(side)
+        rng = np.random.default_rng(side)
+        keys = rng.integers(0, curve.size, size=200)
+        points = curve.point_many(keys)
+        assert [tuple(p) for p in points.tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]
+
+    def test_array_kernels_with_per_element_sides(self):
+        """The side-parametric kernels used by the 3-d faces."""
+        sides = np.asarray([2, 4, 6, 8] * 10, dtype=np.int64)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, sides)
+        y = rng.integers(0, sides)
+        keys = onion2d_index_array(x, y, sides)
+        for xi, yi, si, ki in zip(x, y, sides, keys):
+            assert OnionCurve2D(int(si)).index((int(xi), int(yi))) == ki
+        back = onion2d_point_array(keys, sides)
+        assert (back[:, 0] == x).all() and (back[:, 1] == y).all()
+
+    @given(st.integers(1, 40))
+    def test_roundtrip_any_side(self, side):
+        curve = OnionCurve2D(side)
+        keys = np.arange(curve.size, dtype=np.int64)
+        cells = curve.point_many(keys)
+        assert (curve.index_many(cells) == keys).all()

@@ -1,0 +1,53 @@
+"""The generic n-dimensional onion curve (the paper's future-work extension)."""
+
+import pytest
+
+from repro.curves import OnionCurve2D, OnionCurveND
+from repro.errors import InvalidUniverseError
+from repro.geometry import boundary_distance
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side,dim", [(2, 2), (5, 2), (8, 2), (4, 3), (5, 3),
+                                          (3, 4), (4, 4), (3, 5)])
+    def test_bijection(self, side, dim):
+        OnionCurveND(side, dim).verify_bijection()
+
+    @pytest.mark.parametrize("side,dim", [(6, 2), (5, 3), (4, 4)])
+    def test_layers_are_key_contiguous(self, side, dim):
+        """The defining onion property holds in every dimension."""
+        curve = OnionCurveND(side, dim)
+        previous = 1
+        for key in range(curve.size):
+            layer = boundary_distance(curve.point(key), side)
+            assert layer >= previous
+            previous = layer
+
+    def test_rejects_dim_one(self):
+        with pytest.raises(InvalidUniverseError):
+            OnionCurveND(8, 1)
+
+    def test_starts_at_origin(self):
+        assert OnionCurveND(6, 4).point(0) == (0, 0, 0, 0)
+
+
+class TestFamilyConsistency:
+    def test_same_layer_partition_as_2d_onion(self):
+        """OnionCurveND(…, 2) and OnionCurve2D order layers identically
+        even though the within-layer walk differs."""
+        side = 8
+        nd = OnionCurveND(side, 2)
+        paper = OnionCurve2D(side)
+        for x in range(side):
+            for y in range(side):
+                layer = boundary_distance((x, y), side)
+                ring = side - 2 * (layer - 1)
+                lo = side * side - ring * ring
+                hi = side * side - max(ring - 2, 0) ** 2
+                assert lo <= nd.index((x, y)) < hi
+                assert lo <= paper.index((x, y)) < hi
+
+    def test_odd_sides_supported(self):
+        """Odd sides have a single-cell core layer."""
+        curve = OnionCurveND(5, 3)
+        assert curve.point(curve.size - 1) == (2, 2, 2)

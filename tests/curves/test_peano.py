@@ -1,0 +1,82 @@
+"""The Peano curve."""
+
+import numpy as np
+import pytest
+
+from repro.curves import PeanoCurve, make_curve
+from repro.errors import InvalidUniverseError, OutOfUniverseError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bad", [1, 2, 4, 6, 10, 12])
+    def test_rejects_non_powers_of_three(self, bad):
+        with pytest.raises(InvalidUniverseError):
+            PeanoCurve(bad)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(OutOfUniverseError):
+            PeanoCurve(9, dim=3)
+
+    def test_registered(self):
+        assert isinstance(make_curve("peano", 9, 2), PeanoCurve)
+
+    def test_exponent(self):
+        assert PeanoCurve(27).exponent == 3
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side", [3, 9, 27])
+    def test_bijection(self, side):
+        PeanoCurve(side).verify_bijection()
+
+    @pytest.mark.parametrize("side", [3, 9, 27])
+    def test_continuity(self, side):
+        """Peano's construction guarantees unit steps; this pins the digit
+        logic exactly."""
+        PeanoCurve(side).verify_continuity()
+
+    def test_runs_corner_to_corner(self):
+        curve = PeanoCurve(9)
+        assert curve.first_cell == (0, 0)
+        assert curve.last_cell == (8, 8)
+
+    def test_3x3_shape(self):
+        """The base motif: x-major serpentine through the 3x3 grid."""
+        curve = PeanoCurve(3)
+        walk = [curve.point(k) for k in range(9)]
+        assert walk == [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ]
+
+    def test_thirds_are_key_contiguous(self):
+        """Each of the nine 3x3 blocks of the 9x9 curve is one key range."""
+        curve = PeanoCurve(9)
+        ninth = curve.size // 9
+        for b in range(9):
+            cells = [curve.point(k) for k in range(b * ninth, (b + 1) * ninth)]
+            xs = {c[0] // 3 for c in cells}
+            ys = {c[1] // 3 for c in cells}
+            assert len(xs) == 1 and len(ys) == 1
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("side", [3, 9, 27, 81])
+    def test_matches_scalar(self, side):
+        curve = PeanoCurve(side)
+        rng = np.random.default_rng(side)
+        cells = rng.integers(0, side, size=(200, 2))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+        keys = rng.integers(0, curve.size, size=200)
+        assert [tuple(p) for p in curve.point_many(keys).tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]
+
+    def test_roundtrip_large(self):
+        curve = PeanoCurve(243)
+        rng = np.random.default_rng(0)
+        cells = rng.integers(0, 243, size=(500, 2))
+        assert (curve.point_many(curve.index_many(cells)) == cells).all()

@@ -1,0 +1,98 @@
+"""Hypothesis cross-curve properties: bijectivity and round trips."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import make_curve
+
+_POW2_SIDES = st.sampled_from([2, 4, 8, 16])
+_ANY_SIDES = st.integers(1, 16)
+_EVEN_SIDES = st.sampled_from([2, 4, 6, 8, 10, 12])
+
+
+def _roundtrip_key(curve, key):
+    assert curve.index(curve.point(key)) == key
+
+
+def _roundtrip_cell(curve, cell):
+    assert curve.point(curve.index(cell)) == tuple(cell)
+
+
+class TestRoundTrips:
+    @given(_ANY_SIDES, st.data())
+    def test_onion2d(self, side, data):
+        curve = make_curve("onion", side, 2)
+        key = data.draw(st.integers(0, curve.size - 1))
+        _roundtrip_key(curve, key)
+        cell = data.draw(st.tuples(*[st.integers(0, side - 1)] * 2))
+        _roundtrip_cell(curve, cell)
+
+    @given(_EVEN_SIDES, st.data())
+    def test_onion3d(self, side, data):
+        curve = make_curve("onion", side, 3)
+        key = data.draw(st.integers(0, curve.size - 1))
+        _roundtrip_key(curve, key)
+        cell = data.draw(st.tuples(*[st.integers(0, side - 1)] * 3))
+        _roundtrip_cell(curve, cell)
+
+    @given(_POW2_SIDES, st.integers(2, 4), st.data())
+    def test_hilbert(self, side, dim, data):
+        curve = make_curve("hilbert", side, dim)
+        key = data.draw(st.integers(0, curve.size - 1))
+        _roundtrip_key(curve, key)
+        cell = data.draw(st.tuples(*[st.integers(0, side - 1)] * dim))
+        _roundtrip_cell(curve, cell)
+
+    @given(_POW2_SIDES, st.integers(2, 3), st.data())
+    def test_zorder_and_gray(self, side, dim, data):
+        for name in ("zorder", "gray"):
+            curve = make_curve(name, side, dim)
+            key = data.draw(st.integers(0, curve.size - 1))
+            _roundtrip_key(curve, key)
+
+    @given(st.integers(1, 12), st.integers(2, 4), st.data())
+    def test_snake_and_lexicographic(self, side, dim, data):
+        for name in ("snake", "rowmajor", "columnmajor"):
+            curve = make_curve(name, side, dim)
+            key = data.draw(st.integers(0, curve.size - 1))
+            _roundtrip_key(curve, key)
+
+
+class TestContinuityProperties:
+    @given(_ANY_SIDES, st.data())
+    def test_onion2d_steps_are_unit(self, side, data):
+        curve = make_curve("onion", side, 2)
+        if curve.size < 2:
+            return
+        key = data.draw(st.integers(0, curve.size - 2))
+        a = curve.point(key)
+        b = curve.point(key + 1)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(_POW2_SIDES, st.integers(2, 4), st.data())
+    def test_hilbert_steps_are_unit(self, side, dim, data):
+        curve = make_curve("hilbert", side, dim)
+        key = data.draw(st.integers(0, curve.size - 2))
+        a = curve.point(key)
+        b = curve.point(key + 1)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+class TestVectorizedAgreement:
+    @given(
+        st.sampled_from(["onion", "hilbert", "zorder", "gray", "snake"]),
+        st.integers(2, 3),
+        st.integers(0, 2**31),
+    )
+    def test_batch_equals_scalar(self, name, dim, seed):
+        curve = make_curve(name, 8, dim)
+        rng = np.random.default_rng(seed)
+        cells = rng.integers(0, 8, size=(50, dim))
+        batch = curve.index_many(cells)
+        for row, key in zip(cells, batch):
+            assert curve.index(tuple(row)) == key
+        keys = rng.integers(0, curve.size, size=50)
+        points = curve.point_many(keys)
+        for key, row in zip(keys, points):
+            assert curve.point(int(key)) == tuple(row)

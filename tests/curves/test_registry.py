@@ -1,0 +1,52 @@
+"""Curve registry dispatch."""
+
+import pytest
+
+from repro.curves import (
+    HilbertCurve,
+    OnionCurve2D,
+    OnionCurve3D,
+    OnionCurveND,
+    curve_names,
+    make_curve,
+    register_curve,
+)
+from repro.errors import UnknownCurveError
+
+
+class TestMakeCurve:
+    def test_onion_dispatches_on_dimension(self):
+        assert isinstance(make_curve("onion", 8, 2), OnionCurve2D)
+        assert isinstance(make_curve("onion", 8, 3), OnionCurve3D)
+        assert isinstance(make_curve("onion", 8, 4), OnionCurveND)
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(make_curve("HILBERT", 8, 2), HilbertCurve)
+
+    def test_z_alias(self):
+        assert make_curve("z", 8, 2).name == "zorder"
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownCurveError):
+            make_curve("sierpinski", 8, 2)
+
+    def test_curve_names_sorted_and_complete(self):
+        names = curve_names()
+        assert names == sorted(names)
+        for required in ("onion", "hilbert", "zorder", "gray", "rowmajor",
+                         "columnmajor", "snake"):
+            assert required in names
+
+
+class TestRegisterCurve:
+    def test_custom_registration(self):
+        class Marker(OnionCurve2D):
+            pass
+
+        register_curve("marker-test", lambda side, dim: Marker(side))
+        try:
+            assert isinstance(make_curve("marker-test", 8, 2), Marker)
+        finally:
+            from repro.curves import registry
+
+            registry._REGISTRY.pop("marker-test", None)

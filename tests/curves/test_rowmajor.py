@@ -1,0 +1,62 @@
+"""Row-major and column-major curves."""
+
+import numpy as np
+import pytest
+
+from repro.curves import ColumnMajorCurve, RowMajorCurve
+from repro.core.clustering import clustering_number
+from repro.core.queries import columns_query_set, rows_query_set
+
+
+class TestRowMajor:
+    def test_rows_are_contiguous(self):
+        curve = RowMajorCurve(8, 2)
+        for y in range(8):
+            keys = [curve.index((x, y)) for x in range(8)]
+            assert keys == list(range(y * 8, y * 8 + 8))
+
+    def test_optimal_on_rows_pessimal_on_columns(self):
+        """The Lemma 10 setup."""
+        curve = RowMajorCurve(8, 2)
+        for row in rows_query_set(8):
+            assert clustering_number(curve, row) == 1
+        for col in columns_query_set(8):
+            assert clustering_number(curve, col) == 8
+
+    @pytest.mark.parametrize("side,dim", [(8, 2), (5, 3), (3, 4)])
+    def test_bijection(self, side, dim):
+        RowMajorCurve(side, dim).verify_bijection()
+
+
+class TestColumnMajor:
+    def test_columns_are_contiguous(self):
+        curve = ColumnMajorCurve(8, 2)
+        for x in range(8):
+            keys = [curve.index((x, y)) for y in range(8)]
+            assert keys == list(range(x * 8, x * 8 + 8))
+
+    def test_mirror_of_rowmajor(self):
+        row = RowMajorCurve(8, 2)
+        col = ColumnMajorCurve(8, 2)
+        for x in range(8):
+            for y in range(8):
+                assert col.index((x, y)) == row.index((y, x))
+
+    @pytest.mark.parametrize("side,dim", [(8, 2), (5, 3)])
+    def test_bijection(self, side, dim):
+        ColumnMajorCurve(side, dim).verify_bijection()
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("cls", [RowMajorCurve, ColumnMajorCurve])
+    def test_matches_scalar(self, cls):
+        curve = cls(7, 3)
+        rng = np.random.default_rng(1)
+        cells = rng.integers(0, 7, size=(150, 3))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+        keys = rng.integers(0, curve.size, size=150)
+        assert [tuple(p) for p in curve.point_many(keys).tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]

@@ -1,0 +1,47 @@
+"""The snake (boustrophedon) curve."""
+
+import numpy as np
+import pytest
+
+from repro.curves import SnakeCurve
+
+
+class TestShape:
+    def test_2d_rows_alternate_direction(self):
+        curve = SnakeCurve(4, 2)
+        assert [curve.point(k) for k in range(8)] == [
+            (0, 0), (1, 0), (2, 0), (3, 0),
+            (3, 1), (2, 1), (1, 1), (0, 1),
+        ]
+
+    def test_rows_remain_contiguous(self):
+        curve = SnakeCurve(8, 2)
+        for y in range(8):
+            keys = sorted(curve.index((x, y)) for x in range(8))
+            assert keys == list(range(y * 8, y * 8 + 8))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side,dim", [(2, 2), (5, 2), (8, 2), (3, 3), (4, 3), (3, 4)])
+    def test_bijection(self, side, dim):
+        SnakeCurve(side, dim).verify_bijection()
+
+    @pytest.mark.parametrize("side,dim", [(2, 2), (5, 2), (8, 2), (3, 3), (4, 3), (3, 4)])
+    def test_continuity(self, side, dim):
+        """Continuity in every dimension is the point of the snake curve."""
+        SnakeCurve(side, dim).verify_continuity()
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("side,dim", [(8, 2), (5, 3)])
+    def test_matches_scalar(self, side, dim):
+        curve = SnakeCurve(side, dim)
+        rng = np.random.default_rng(2)
+        cells = rng.integers(0, side, size=(150, dim))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+        keys = rng.integers(0, curve.size, size=150)
+        assert [tuple(p) for p in curve.point_many(keys).tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]

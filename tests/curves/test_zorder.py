@@ -1,0 +1,74 @@
+"""The Z (Morton) curve."""
+
+import numpy as np
+import pytest
+
+from repro.curves import ZOrderCurve
+from repro.errors import InvalidUniverseError
+
+
+class TestKnownValues:
+    def test_2x2_is_a_z(self):
+        curve = ZOrderCurve(2, 2)
+        assert [curve.point(k) for k in range(4)] == [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (1, 1),
+        ]
+
+    def test_quadrants_are_key_contiguous(self):
+        curve = ZOrderCurve(8, 2)
+        quarter = curve.size // 4
+        for q in range(4):
+            cells = {curve.point(k) for k in range(q * quarter, (q + 1) * quarter)}
+            xs = sorted(c[0] for c in cells)
+            ys = sorted(c[1] for c in cells)
+            assert xs[-1] - xs[0] == 3 and ys[-1] - ys[0] == 3
+
+
+class TestStructure:
+    @pytest.mark.parametrize("side,dim", [(2, 2), (8, 2), (16, 2), (4, 3), (8, 3)])
+    def test_bijection(self, side, dim):
+        ZOrderCurve(side, dim).verify_bijection()
+
+    def test_not_continuous(self):
+        curve = ZOrderCurve(4, 2)
+        assert not curve.is_continuous
+        assert list(curve.discontinuities())
+
+    def test_rejects_non_power_side(self):
+        with pytest.raises(InvalidUniverseError):
+            ZOrderCurve(6, 2)
+
+
+class TestBlockRanges:
+    @pytest.mark.parametrize("side,dim", [(8, 2), (8, 3)])
+    def test_block_key_range_is_exact(self, side, dim):
+        """Every aligned block's claimed range equals the true key set."""
+        curve = ZOrderCurve(side, dim)
+        bits = curve.bits
+        for level in range(bits + 1):
+            block = 1 << level
+            for corner in np.ndindex(*(side // block,) * dim):
+                origin = tuple(c * block for c in corner)
+                start, size = curve.block_key_range(origin, level)
+                assert size == block**dim
+                cells = [
+                    tuple(o + d for o, d in zip(origin, offset))
+                    for offset in np.ndindex(*(block,) * dim)
+                ]
+                keys = sorted(curve.index(c) for c in cells)
+                assert keys == list(range(start, start + size))
+
+    def test_vectorized_matches_scalar(self):
+        curve = ZOrderCurve(16, 3)
+        rng = np.random.default_rng(5)
+        cells = rng.integers(0, 16, size=(200, 3))
+        assert curve.index_many(cells).tolist() == [
+            curve.index(tuple(c)) for c in cells
+        ]
+        keys = rng.integers(0, curve.size, size=200)
+        assert [tuple(p) for p in curve.point_many(keys).tolist()] == [
+            curve.point(int(k)) for k in keys
+        ]

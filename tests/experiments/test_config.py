@@ -1,0 +1,63 @@
+"""Scale presets and parameter derivations."""
+
+import pytest
+
+from repro.experiments.config import SCALES, Scale, fig5_lengths, get_scale
+
+
+class TestScales:
+    def test_paper_scale_matches_section_vii(self):
+        paper = SCALES["paper"]
+        assert paper.side_2d == 1024
+        assert paper.side_3d == 512
+        assert paper.queries_2d == 1000
+        assert paper.queries_3d == 500
+        assert paper.ratio_step_2d == 50
+        assert paper.per_length == 20
+
+    def test_paper_fig5_2d_lengths(self):
+        """ℓ = 1024 − 50k for odd k in 1..19."""
+        lengths = SCALES["paper"].fig5_lengths_2d()
+        assert lengths == [1024 - 50 * k for k in range(1, 20, 2)]
+
+    def test_paper_fig5_3d_lengths(self):
+        """Exactly the listed sides at ∛n = 512."""
+        assert SCALES["paper"].fig5_lengths_3d() == [472, 432, 192, 152, 112, 72, 32]
+
+    def test_ci_lengths_preserve_shape(self):
+        """Scaled lengths keep the same fractions of the side."""
+        ci = SCALES["ci"]
+        lengths = ci.fig5_lengths_2d()
+        assert all(1 <= l < ci.side_2d for l in lengths)
+        assert lengths == sorted(lengths, reverse=True)
+        # the largest stays near the side, the smallest near 0.1x
+        assert lengths[0] / ci.side_2d > 0.9
+        assert lengths[-1] / ci.side_2d < 0.2
+
+
+class TestGetScale:
+    def test_by_name(self):
+        assert get_scale("paper").name == "paper"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_scale().name == "small"
+
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "ci"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+
+class TestFig5Lengths:
+    def test_dim_dispatch(self):
+        ci = SCALES["ci"]
+        assert fig5_lengths(ci, 2) == ci.fig5_lengths_2d()
+        assert fig5_lengths(ci, 3) == ci.fig5_lengths_3d()
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            fig5_lengths(SCALES["ci"], 4)

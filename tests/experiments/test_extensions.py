@@ -1,0 +1,63 @@
+"""The extension experiments: exact distributions and the gap ablation."""
+
+import pytest
+
+from repro.experiments import distributions, gap_ablation
+from repro.experiments.config import SCALES
+
+TINY = SCALES["ci"]
+
+
+class TestExactDistributions:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return distributions.run(TINY, dim=2)
+
+    def test_exact_gap_shape_matches_fig5(self, result):
+        gaps = result.column("median gap (h/o)")
+        assert gaps[0] > 5
+        assert gaps[-1] < 2
+
+    def test_3d_variant(self):
+        result = distributions.run(TINY, dim=3)
+        gaps = result.column("median gap (h/o)")
+        assert gaps[0] > 10
+
+
+class TestGapAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return gap_ablation.run(TINY)
+
+    def test_rows_cover_all_tolerances_and_curves(self, result):
+        tolerances = set(result.column("gap tolerance"))
+        assert tolerances == set(gap_ablation.GAP_TOLERANCES)
+        assert set(result.column("curve")) == {"onion", "hilbert", "zorder"}
+
+    def test_returned_counts_identical(self, result):
+        assert len(set(result.column("returned"))) == 1
+
+    def test_seeks_monotone_in_tolerance(self, result):
+        by_curve = {}
+        for tolerance, curve, seeks, _, _ in result.rows:
+            by_curve.setdefault(curve, []).append((tolerance, seeks))
+        for curve, series in by_curve.items():
+            series.sort()
+            seeks = [s for _, s in series]
+            assert seeks == sorted(seeks, reverse=True) or all(
+                a >= b for a, b in zip(seeks, seeks[1:])
+            ), (curve, seeks)
+
+    def test_onion_wins_at_zero_tolerance(self, result):
+        at_zero = {
+            curve: seeks
+            for tolerance, curve, seeks, _, _ in result.rows
+            if tolerance == 0
+        }
+        assert at_zero["onion"] < at_zero["hilbert"]
+        assert at_zero["onion"] < at_zero["zorder"]
+
+    def test_overread_zero_without_tolerance(self, result):
+        for tolerance, _, _, over_read, _ in result.rows:
+            if tolerance == 0:
+                assert over_read == 0

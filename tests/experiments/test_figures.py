@@ -1,0 +1,92 @@
+"""The figure experiments regenerate the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig5, fig6, fig7
+from repro.experiments.config import SCALES
+
+TINY = SCALES["ci"]
+
+
+class TestFig1:
+    def test_witness_exists_with_paper_counts(self):
+        witness = fig1.find_witness(hilbert_clusters=2, z_clusters=4)
+        assert witness is not None
+
+    def test_report_shape(self):
+        result = fig1.run()
+        assert result.experiment == "fig1"
+        assert result.rows
+
+
+class TestFig2:
+    def test_paper_cells_reproduced(self):
+        """One translation has onion=1 and hilbert=5, as drawn."""
+        result = fig2.run()
+        data_rows = result.rows[:-1]
+        assert any(o == 1 and h == 5 for _, o, h in data_rows)
+
+    def test_onion_never_worse_on_7x7(self):
+        result = fig2.run()
+        for _, onion, hilbert in result.rows[:-1]:
+            assert onion <= hilbert
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result_2d(self):
+        return fig5.run(TINY, dim=2)
+
+    @pytest.fixture(scope="class")
+    def result_3d(self):
+        return fig5.run(TINY, dim=3)
+
+    def test_huge_gap_at_large_lengths_2d(self, result_2d):
+        """Paper: onion is dramatically better once ℓ > side/2."""
+        gaps = result_2d.column("median gap (h/o)")
+        assert gaps[0] > 5  # largest squares
+
+    def test_gap_decreases_with_length_2d(self, result_2d):
+        gaps = result_2d.column("median gap (h/o)")
+        assert gaps[0] > gaps[len(gaps) // 2] > gaps[-1] * 0.5
+
+    def test_comparable_at_small_lengths_2d(self, result_2d):
+        gaps = result_2d.column("median gap (h/o)")
+        assert 0.7 <= gaps[-1] <= 1.5
+
+    def test_huge_gap_at_large_lengths_3d(self, result_3d):
+        gaps = result_3d.column("median gap (h/o)")
+        assert gaps[0] > 20  # paper reports >200x at paper scale
+
+    def test_rows_cover_requested_lengths(self, result_2d):
+        assert len(result_2d.rows) == len(TINY.fig5_lengths_2d())
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(TINY, dim=2)
+
+    def test_biggest_advantage_near_ratio_one(self, result):
+        ratios = result.column("ratio")
+        gaps = result.column("median gap (h/o)")
+        by_ratio = dict(zip(ratios, gaps))
+        near_cube_gap = by_ratio.get("1", 0)
+        extreme_gaps = [g for r, g in by_ratio.items() if r in ("0.25", "4")]
+        assert near_cube_gap >= max(extreme_gaps) - 0.2
+
+    def test_3d_variant_runs(self):
+        result = fig6.run(TINY, dim=3)
+        assert result.rows
+
+
+class TestFig7:
+    def test_onion_median_not_worse_2d(self):
+        result = fig7.run(TINY, dim=2)
+        medians = dict(zip(result.column("curve"), result.column("median")))
+        assert medians["onion"] <= medians["hilbert"] * 1.05
+
+    def test_onion_median_not_worse_3d(self):
+        result = fig7.run(TINY, dim=3)
+        medians = dict(zip(result.column("curve"), result.column("median")))
+        assert medians["onion"] <= medians["hilbert"] * 1.05

@@ -1,0 +1,52 @@
+"""The 4-d extension and stretch-table experiments."""
+
+import pytest
+
+from repro.experiments import higher_dims, stretch_table
+from repro.experiments.config import SCALES
+
+TINY = SCALES["ci"]
+
+
+class TestHigherDims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return higher_dims.run(TINY)
+
+    def test_onion_wins_near_full_4d_cubes(self, result):
+        """The paper's future-work claim, measured: the layer ordering
+        keeps its advantage in four dimensions."""
+        last = result.rows[-1]  # the largest cube
+        assert last[-1] > 3  # hilbert/onion ratio
+
+    def test_onion_competitive_at_small_cubes(self, result):
+        first = result.rows[0]
+        assert first[-1] > 0.6  # within ~1.6x of hilbert on tiny cubes
+
+    def test_advantage_grows_with_length(self, result):
+        ratios = [row[-1] for row in result.rows]
+        assert ratios[-1] > ratios[0]
+
+
+class TestStretchTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return stretch_table.run(TINY)
+
+    def test_all_curves_present(self, result):
+        assert set(result.column("curve")) == set(stretch_table.CURVES)
+
+    def test_onion_best_clustering(self, result):
+        clustering = dict(zip(result.column("curve"), result.column("clustering")))
+        assert clustering["onion"] == min(clustering.values())
+
+    def test_hilbert_best_stretch(self, result):
+        stretch = dict(
+            zip(result.column("curve"), result.column("GL stretch (worst)"))
+        )
+        assert stretch["hilbert"] == min(stretch.values())
+
+    def test_continuous_curves_have_unit_steps(self, result):
+        worst_step = dict(zip(result.column("curve"), result.column("worst step")))
+        for name in ("onion", "hilbert", "snake"):
+            assert worst_step[name] == 1

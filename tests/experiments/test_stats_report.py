@@ -1,0 +1,73 @@
+"""Box-plot summaries and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.report import ExperimentResult, format_table
+from repro.experiments.stats import BoxStats
+
+
+class TestBoxStats:
+    def test_known_distribution(self):
+        stats = BoxStats.from_counts([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.mean == 3
+        assert stats.q25 == 2
+        assert stats.q75 == 4
+
+    def test_single_value(self):
+        stats = BoxStats.from_counts([7])
+        assert stats.as_row() == (7, 7, 7, 7, 7, 7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_counts([])
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_ordering_invariant(self, counts):
+        stats = BoxStats.from_counts(counts)
+        assert (
+            stats.minimum <= stats.q25 <= stats.median <= stats.q75 <= stats.maximum
+        )
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_str_contains_five_numbers(self):
+        text = str(BoxStats.from_counts([1, 2, 3]))
+        for field in ("min=", "q25=", "med=", "q75=", "max=", "mean="):
+            assert field in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [33, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l.rstrip()) for l in lines[:2])) >= 1
+
+    def test_float_trimming(self):
+        table = format_table(["x"], [[2.0]])
+        assert "2" in table and "2.000" not in table
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self):
+        result = ExperimentResult(
+            experiment="figX",
+            title="demo",
+            headers=["h1", "h2"],
+            rows=[(1, 2)],
+            notes=["a note"],
+        )
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "h1" in text and "a note" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("e", "t", ["a", "b"], [(1, 2), (3, 4)])
+        assert result.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            result.column("missing")

@@ -1,0 +1,45 @@
+"""Theory-validation experiment and the CLI entry point."""
+
+import pytest
+
+from repro.experiments import theory_validation
+from repro.experiments.cli import main
+from repro.experiments.config import SCALES
+
+
+class TestTheoryValidation:
+    def test_every_row_ok(self):
+        result = theory_validation.run(SCALES["ci"])
+        statuses = result.column("status")
+        assert statuses and all(s == "OK" for s in statuses)
+
+    def test_covers_all_four_theorems(self):
+        result = theory_validation.run(SCALES["ci"])
+        quantities = " ".join(result.column("quantity"))
+        for marker in ("thm1", "thm2", "thm4", "thm5"):
+            assert marker in quantities
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "onion" in out
+
+    def test_dimmed_experiment_with_dim(self, capsys):
+        assert main(["fig7", "--dim", "2", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out and "fig7b" not in out
+
+    def test_dimmed_experiment_both_dims(self, capsys):
+        assert main(["fig7", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out and "fig7b" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figX"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--scale", "galactic"])

@@ -1,0 +1,75 @@
+"""The cost-based curve advisor."""
+
+import pytest
+
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.index import advise
+
+
+@pytest.fixture
+def candidates():
+    return [make_curve(name, 32, 2) for name in ("onion", "hilbert", "rowmajor")]
+
+
+class TestAdvise:
+    def test_onion_wins_large_cube_workload(self, candidates):
+        """The paper's headline, as an index-selection decision."""
+        scores = advise(candidates, [(28, 28), (30, 30)])
+        assert scores[0].curve.name == "onion"
+
+    def test_rowmajor_wins_row_workload(self, candidates):
+        """Lemma 10's flip side: row scans want the row-major curve."""
+        scores = advise(candidates, [(32, 1)])
+        assert scores[0].curve.name == "rowmajor"
+        assert scores[0].expected_seeks == pytest.approx(1.0)
+
+    def test_weights_shift_the_decision(self, candidates):
+        rows = (32, 1)
+        cubes = (30, 30)
+        row_heavy = advise(candidates, [rows, cubes], weights=[100.0, 1.0])
+        cube_heavy = advise(candidates, [rows, cubes], weights=[1.0, 100.0])
+        assert row_heavy[0].curve.name == "rowmajor"
+        assert cube_heavy[0].curve.name == "onion"
+
+    def test_scores_sorted_ascending(self, candidates):
+        scores = advise(candidates, [(10, 10)])
+        values = [s.expected_seeks for s in scores]
+        assert values == sorted(values)
+
+    def test_per_shape_breakdown(self, candidates):
+        scores = advise(candidates, [(4, 4), (8, 8)])
+        for score in scores:
+            assert set(score.per_shape) == {(4, 4), (8, 8)}
+            assert all(v > 0 for v in score.per_shape.values())
+
+    def test_expected_is_weighted_mean(self, candidates):
+        scores = advise(candidates, [(4, 4), (8, 8)], weights=[3.0, 1.0])
+        for score in scores:
+            manual = (
+                3.0 * score.per_shape[(4, 4)] + 1.0 * score.per_shape[(8, 8)]
+            ) / 4.0
+            assert score.expected_seeks == pytest.approx(manual)
+
+
+class TestGuards:
+    def test_empty_curves(self):
+        with pytest.raises(InvalidQueryError):
+            advise([], [(2, 2)])
+
+    def test_empty_workload(self, candidates):
+        with pytest.raises(InvalidQueryError):
+            advise(candidates, [])
+
+    def test_mixed_universes_rejected(self):
+        mixed = [make_curve("onion", 32, 2), make_curve("onion", 16, 2)]
+        with pytest.raises(InvalidQueryError):
+            advise(mixed, [(2, 2)])
+
+    def test_weight_length_mismatch(self, candidates):
+        with pytest.raises(InvalidQueryError):
+            advise(candidates, [(2, 2)], weights=[1.0, 2.0])
+
+    def test_zero_weights_rejected(self, candidates):
+        with pytest.raises(InvalidQueryError):
+            advise(candidates, [(2, 2)], weights=[0.0])

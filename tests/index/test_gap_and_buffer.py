@@ -1,0 +1,81 @@
+"""Index-level gap tolerance and buffer-pool integration."""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+
+def _full_grid_index(name, side, **kwargs):
+    index = SFCIndex(make_curve(name, side, 2), page_capacity=4, **kwargs)
+    for x in range(side):
+        for y in range(side):
+            index.insert((x, y), payload=(x, y))
+    index.flush()
+    return index
+
+
+class TestGapTolerance:
+    def test_results_identical_at_any_tolerance(self):
+        index = _full_grid_index("hilbert", 16)
+        rect = Rect((2, 3), (12, 13))
+        baseline = sorted(r.payload for r in index.range_query(rect).records)
+        for tolerance in (1, 8, 64, 255):
+            result = index.range_query(rect, gap_tolerance=tolerance)
+            assert sorted(r.payload for r in result.records) == baseline
+
+    def test_seeks_decrease_overread_increases(self):
+        index = _full_grid_index("hilbert", 32)
+        rect = Rect((1, 1), (27, 28))
+        seeks = []
+        over = []
+        for tolerance in (0, 16, 256):
+            result = index.range_query(rect, gap_tolerance=tolerance)
+            seeks.append(result.seeks)
+            over.append(result.over_read)
+        assert seeks[0] >= seeks[1] >= seeks[2]
+        assert seeks[0] > seeks[2]
+        assert over[0] == 0
+        assert over[2] > over[1] >= 0
+
+    def test_zero_tolerance_has_no_overread(self):
+        index = _full_grid_index("zorder", 16)
+        result = index.range_query(Rect((3, 3), (12, 12)))
+        assert result.over_read == 0
+
+
+class TestBufferPool:
+    def test_pool_exposed(self):
+        index = _full_grid_index("onion", 8, buffer_pages=16)
+        assert index.buffer_pool is not None
+        assert _full_grid_index("onion", 8).buffer_pool is None
+
+    def test_repeat_queries_hit_memory(self):
+        index = _full_grid_index("onion", 16, buffer_pages=1024)
+        rect = Rect((2, 2), (12, 12))
+        first = index.range_query(rect)
+        assert first.seeks > 0
+        second = index.range_query(rect)
+        assert second.seeks == 0
+        assert second.sequential_reads == 0
+        assert sorted(r.payload for r in second.records) == sorted(
+            r.payload for r in first.records
+        )
+        assert index.buffer_pool.stats.hits > 0
+
+    def test_small_pool_still_correct(self):
+        index = _full_grid_index("hilbert", 16, buffer_pages=2)
+        rect = Rect((0, 0), (15, 15))
+        result = index.range_query(rect)
+        assert len(result.records) == 256
+
+    def test_flush_invalidates_pool(self):
+        index = _full_grid_index("onion", 8, buffer_pages=64)
+        rect = Rect((1, 1), (6, 6))
+        index.range_query(rect)
+        index.insert((0, 0), payload="new")
+        result = index.range_query(rect)  # auto-reflush must invalidate
+        expected = {(x, y) for x in range(1, 7) for y in range(1, 7)}
+        assert {r.payload for r in result.records if r.payload != "new"} >= expected

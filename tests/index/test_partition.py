@@ -1,0 +1,106 @@
+"""Curve-range partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import Rect
+from repro.index import (
+    average_shards_touched,
+    balanced_shards,
+    equal_key_shards,
+    shard_of_key,
+    shards_touched,
+)
+
+
+class TestEqualKeyShards:
+    def test_partition_covers_key_space(self):
+        curve = make_curve("onion", 8, 2)
+        shards = equal_key_shards(curve, 4)
+        assert shards[0][0] == 0
+        assert shards[-1][1] == curve.size - 1
+        for (_, prev_end), (next_start, _) in zip(shards, shards[1:]):
+            assert next_start == prev_end + 1
+
+    def test_near_equal_sizes(self):
+        curve = make_curve("onion", 8, 2)
+        shards = equal_key_shards(curve, 5)
+        sizes = [e - s + 1 for s, e in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_guards(self):
+        curve = make_curve("onion", 8, 2)
+        with pytest.raises(InvalidQueryError):
+            equal_key_shards(curve, 0)
+        with pytest.raises(InvalidQueryError):
+            equal_key_shards(curve, curve.size + 1)
+
+
+class TestBalancedShards:
+    def test_balances_skewed_keys(self, rng):
+        keys = np.concatenate(
+            [rng.integers(0, 100, size=900), rng.integers(100, 4096, size=100)]
+        )
+        shards = balanced_shards(keys.tolist(), 4, 4096)
+        loads = [int(((keys >= s) & (keys <= e)).sum()) for s, e in shards]
+        assert max(loads) <= 2 * min(loads) + 1
+
+    def test_covers_key_space(self):
+        shards = balanced_shards([5, 10, 20, 30], 2, 64)
+        assert shards[0][0] == 0
+        assert shards[-1][1] == 63
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            balanced_shards([], 2, 64)
+
+
+class TestShardLookup:
+    def test_shard_of_key(self):
+        shards = [(0, 9), (10, 19), (20, 63)]
+        assert shard_of_key(shards, 0) == 0
+        assert shard_of_key(shards, 9) == 0
+        assert shard_of_key(shards, 10) == 1
+        assert shard_of_key(shards, 63) == 2
+
+    def test_uncovered_key_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            shard_of_key([(0, 9)], 10)
+
+
+class TestShardsTouched:
+    def test_full_universe_touches_everything(self):
+        curve = make_curve("onion", 8, 2)
+        shards = equal_key_shards(curve, 4)
+        rect = Rect((0, 0), (7, 7))
+        assert shards_touched(curve, rect, shards) == {0, 1, 2, 3}
+
+    def test_single_cell_touches_one(self):
+        curve = make_curve("onion", 8, 2)
+        shards = equal_key_shards(curve, 4)
+        touched = shards_touched(curve, Rect((3, 3), (3, 3)), shards)
+        assert len(touched) == 1
+
+    def test_touched_set_matches_brute_force(self, rng):
+        curve = make_curve("hilbert", 16, 2)
+        shards = equal_key_shards(curve, 6)
+        for _ in range(20):
+            lo = rng.integers(0, 16, size=2)
+            hi = np.minimum(lo + rng.integers(0, 8, size=2), 15)
+            rect = Rect(tuple(lo), tuple(hi))
+            keys = curve.index_many(rect.cells_array())
+            expected = {shard_of_key(shards, int(k)) for k in keys}
+            assert shards_touched(curve, rect, shards) == expected
+
+    def test_average(self):
+        curve = make_curve("onion", 8, 2)
+        shards = equal_key_shards(curve, 4)
+        rects = [Rect((0, 0), (7, 7)), Rect((3, 3), (3, 3))]
+        assert average_shards_touched(curve, rects, shards) == pytest.approx(2.5)
+
+    def test_empty_workload_rejected(self):
+        curve = make_curve("onion", 8, 2)
+        with pytest.raises(InvalidQueryError):
+            average_shards_touched(curve, [], equal_key_shards(curve, 2))

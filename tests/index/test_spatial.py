@@ -1,0 +1,156 @@
+"""SFCIndex integration: exact results, seeks == clustering link."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import clustering_number
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import Rect
+from repro.index import Record, SFCIndex
+
+
+def build_index(curve, points, page_capacity=8):
+    index = SFCIndex(curve, page_capacity=page_capacity)
+    index.bulk_load([tuple(p) for p in points], payloads=range(len(points)))
+    index.flush()
+    return index
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+    def test_range_queries_return_exact_sets(self, name, rng):
+        curve = make_curve(name, 16, 2)
+        points = rng.integers(0, 16, size=(300, 2))
+        index = build_index(curve, points)
+        for _ in range(30):
+            lo = rng.integers(0, 16, size=2)
+            hi = np.minimum(lo + rng.integers(0, 8, size=2), 15)
+            rect = Rect(tuple(lo), tuple(hi))
+            result = index.range_query(rect)
+            expected = sorted(
+                i for i, p in enumerate(points) if rect.contains(tuple(p))
+            )
+            assert sorted(r.payload for r in result.records) == expected
+
+    def test_3d_index(self, rng):
+        curve = make_curve("onion", 8, 3)
+        points = rng.integers(0, 8, size=(200, 3))
+        index = build_index(curve, points)
+        rect = Rect((1, 2, 0), (5, 7, 4))
+        result = index.range_query(rect)
+        expected = sorted(i for i, p in enumerate(points) if rect.contains(tuple(p)))
+        assert sorted(r.payload for r in result.records) == expected
+
+    def test_duplicate_points_all_returned(self):
+        curve = make_curve("onion", 8, 2)
+        index = SFCIndex(curve, page_capacity=2)
+        for i in range(5):
+            index.insert((3, 3), payload=i)
+        index.flush()
+        result = index.range_query(Rect((3, 3), (3, 3)))
+        assert sorted(r.payload for r in result.records) == [0, 1, 2, 3, 4]
+
+    def test_point_query(self):
+        curve = make_curve("onion", 8, 2)
+        index = SFCIndex(curve)
+        index.insert((2, 5), "a")
+        index.insert((2, 5), "b")
+        index.insert((3, 5), "c")
+        payloads = {r.payload for r in index.point_query((2, 5))}
+        assert payloads == {"a", "b"}
+        assert index.point_query((0, 0)) == []
+
+    def test_delete(self):
+        curve = make_curve("onion", 8, 2)
+        index = SFCIndex(curve)
+        index.insert((1, 1), "a")
+        index.insert((1, 1), "b")
+        assert index.delete((1, 1), "a")
+        assert not index.delete((1, 1), "a")
+        assert [r.payload for r in index.point_query((1, 1))] == ["b"]
+        assert index.delete((1, 1))
+        assert len(index) == 0
+
+    def test_query_refuses_oversized_rect(self):
+        index = SFCIndex(make_curve("onion", 8, 2))
+        with pytest.raises(InvalidQueryError):
+            index.range_query(Rect((0, 0), (8, 8)))
+
+    def test_page_capacity_guard(self):
+        with pytest.raises(InvalidQueryError):
+            SFCIndex(make_curve("onion", 8, 2), page_capacity=0)
+
+
+class TestSeekAccounting:
+    def test_runs_equal_clustering_number(self, rng):
+        curve = make_curve("onion", 16, 2)
+        points = rng.integers(0, 16, size=(400, 2))
+        index = build_index(curve, points)
+        for _ in range(20):
+            lo = rng.integers(0, 16, size=2)
+            hi = np.minimum(lo + rng.integers(0, 8, size=2), 15)
+            rect = Rect(tuple(lo), tuple(hi))
+            result = index.range_query(rect)
+            assert result.runs == clustering_number(curve, rect)
+            assert result.seeks <= result.runs
+
+    def test_dense_data_seeks_equal_clusters(self):
+        """With every cell populated and small pages, each run needs its
+        own seek: the paper's disk story becomes exact."""
+        curve = make_curve("onion", 8, 2)
+        index = SFCIndex(curve, page_capacity=1)
+        for x in range(8):
+            for y in range(8):
+                index.insert((x, y))
+        index.flush()
+        rect = Rect((2, 1), (6, 5))
+        result = index.range_query(rect)
+        assert result.runs == clustering_number(curve, rect)
+        assert result.seeks == result.runs
+        assert len(result.records) == rect.volume
+
+    def test_better_clustering_fewer_seeks(self):
+        """The paper's bottom line, at the I/O level: on a large query the
+        onion-keyed index seeks less than the hilbert-keyed one."""
+        side = 32
+        points = [(x, y) for x in range(side) for y in range(side)]
+        rect = Rect((1, 1), (28, 28))
+        seeks = {}
+        for name in ("onion", "hilbert"):
+            index = build_index(make_curve(name, side, 2), points, page_capacity=1)
+            seeks[name] = index.range_query(rect).seeks
+        assert seeks["onion"] < seeks["hilbert"]
+
+    def test_record_dataclass(self):
+        record = Record((0, 0), payload="x")
+        assert record.point == (0, 0)
+        assert record.payload == "x"
+
+    def test_cost_is_seek_dominated(self):
+        curve = make_curve("onion", 8, 2)
+        index = build_index(curve, [(x, 0) for x in range(8)], page_capacity=2)
+        res = index.range_query(Rect((0, 0), (7, 0)))
+        assert res.cost() == pytest.approx(
+            res.seeks * 10.1 + res.sequential_reads * 0.1
+        )
+
+
+class TestLifecycle:
+    def test_insert_after_flush_invalidates_layout(self):
+        curve = make_curve("onion", 8, 2)
+        index = SFCIndex(curve)
+        index.insert((0, 0), "a")
+        index.flush()
+        index.insert((1, 0), "b")
+        result = index.range_query(Rect((0, 0), (1, 0)))  # auto-reflush
+        assert sorted(r.payload for r in result.records) == ["a", "b"]
+
+    def test_len_tracks_inserts_and_deletes(self):
+        index = SFCIndex(make_curve("onion", 8, 2))
+        assert len(index) == 0
+        index.insert((0, 0))
+        index.insert((0, 1))
+        assert len(index) == 2
+        index.delete((0, 0))
+        assert len(index) == 1

@@ -1,0 +1,68 @@
+"""The top-level ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCurvesCommand:
+    def test_lists_curves(self, capsys):
+        assert main(["curves"]) == 0
+        out = capsys.readouterr().out
+        for name in ("onion", "hilbert", "peano", "zorder"):
+            assert name in out
+
+
+class TestKeyAndCell:
+    def test_key(self, capsys):
+        assert main(["key", "--curve", "onion", "--side", "4", "3", "0"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_cell(self, capsys):
+        assert main(["cell", "--curve", "onion", "--side", "4", "3"]) == 0
+        assert capsys.readouterr().out.strip() == "3,0"
+
+    def test_roundtrip_3d(self, capsys):
+        assert main(["key", "--curve", "onion", "--side", "4", "--dim", "3",
+                     "1", "2", "3"]) == 0
+        key = capsys.readouterr().out.strip()
+        assert main(["cell", "--curve", "onion", "--side", "4", "--dim", "3",
+                     key]) == 0
+        assert capsys.readouterr().out.strip() == "1,2,3"
+
+
+class TestClusterCommand:
+    def test_cluster_count(self, capsys):
+        assert main(["cluster", "--curve", "hilbert", "--side", "8",
+                     "--lo", "0,1", "--hi", "6,7"]) == 0
+        assert "clusters: 5" in capsys.readouterr().out
+
+    def test_cluster_runs_and_draw(self, capsys):
+        assert main(["cluster", "--curve", "onion", "--side", "8",
+                     "--lo", "0,1", "--hi", "6,7", "--runs", "--draw"]) == 0
+        out = capsys.readouterr().out
+        assert "run [" in out
+        assert "1 cluster(s) under onion" in out
+
+
+class TestRenderCommand:
+    def test_render_keys(self, capsys):
+        assert main(["render", "--curve", "onion", "--side", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "15" in out
+
+    def test_render_path(self, capsys):
+        assert main(["render", "--curve", "hilbert", "--side", "4",
+                     "--mode", "path"]) == 0
+        out = capsys.readouterr().out
+        assert "o" in out
+
+
+class TestExperimentsDelegation:
+    def test_experiments_subcommand(self, capsys):
+        assert main(["experiments", "fig2"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])

@@ -1,0 +1,52 @@
+"""The exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CurveCapabilityError,
+    InvalidQueryError,
+    InvalidUniverseError,
+    OutOfUniverseError,
+    PageError,
+    ReproError,
+    StorageError,
+    TreeError,
+    UnknownCurveError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        InvalidUniverseError,
+        OutOfUniverseError,
+        InvalidQueryError,
+        CurveCapabilityError,
+        UnknownCurveError,
+        StorageError,
+        PageError,
+        TreeError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_catchable_as_builtin():
+    assert issubclass(InvalidUniverseError, ValueError)
+    assert issubclass(OutOfUniverseError, ValueError)
+    assert issubclass(InvalidQueryError, ValueError)
+    assert issubclass(PageError, ValueError)
+
+
+def test_capability_error_is_type_error():
+    assert issubclass(CurveCapabilityError, TypeError)
+
+
+def test_unknown_curve_is_key_error():
+    assert issubclass(UnknownCurveError, KeyError)
+
+
+def test_storage_errors_nest():
+    assert issubclass(PageError, StorageError)
+    assert issubclass(TreeError, StorageError)

@@ -1,0 +1,54 @@
+"""Every shipped example runs end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "clusters" in proc.stdout
+        assert "seeks" in proc.stdout
+
+    def test_spatial_database(self):
+        proc = run_example("spatial_database.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "city-wide" in proc.stdout
+
+    def test_distributed_partitioning(self):
+        proc = run_example("distributed_partitioning.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "shards" in proc.stdout
+
+    def test_curve_gallery(self):
+        proc = run_example("curve_gallery.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "onion" in proc.stdout and "hilbert" in proc.stdout
+        assert "peano" in proc.stdout
+
+    def test_approximate_scans(self):
+        proc = run_example("approximate_scans.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "over-read" in proc.stdout
+
+    @pytest.mark.slow
+    def test_reproduce_paper_ci_scale(self):
+        proc = run_example("reproduce_paper.py", "ci", timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        for marker in ("fig5a", "fig6b", "table1", "table2", "rows-columns"):
+            assert marker in proc.stdout

@@ -1,0 +1,174 @@
+"""Unit tests for :mod:`repro.geometry`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidQueryError, InvalidUniverseError, OutOfUniverseError
+from repro.geometry import (
+    Rect,
+    all_translations,
+    boundary_distance,
+    cell_in_universe,
+    check_cell,
+    layer_side,
+    num_layers,
+    num_translations,
+    validate_dim,
+    validate_side,
+)
+
+
+class TestValidation:
+    def test_validate_side_accepts_positive_ints(self):
+        assert validate_side(1) == 1
+        assert validate_side(1024) == 1024
+
+    def test_validate_side_accepts_numpy_ints(self):
+        assert validate_side(np.int64(8)) == 8
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "8", True])
+    def test_validate_side_rejects(self, bad):
+        with pytest.raises(InvalidUniverseError):
+            validate_side(bad)
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, False])
+    def test_validate_dim_rejects(self, bad):
+        with pytest.raises(InvalidUniverseError):
+            validate_dim(bad)
+
+    def test_cell_in_universe(self):
+        assert cell_in_universe((0, 0), 4, 2)
+        assert cell_in_universe((3, 3), 4, 2)
+        assert not cell_in_universe((4, 0), 4, 2)
+        assert not cell_in_universe((0, -1), 4, 2)
+        assert not cell_in_universe((0, 0, 0), 4, 2)
+
+    def test_check_cell_roundtrip(self):
+        assert check_cell([1, 2], 4, 2) == (1, 2)
+
+    def test_check_cell_raises(self):
+        with pytest.raises(OutOfUniverseError):
+            check_cell((4, 0), 4, 2)
+
+
+class TestLayers:
+    def test_boundary_distance_corners_and_center(self):
+        assert boundary_distance((0, 0), 8) == 1
+        assert boundary_distance((7, 7), 8) == 1
+        assert boundary_distance((3, 3), 8) == 4
+        assert boundary_distance((3, 4), 8) == 4
+
+    def test_boundary_distance_3d(self):
+        assert boundary_distance((1, 3, 3), 8) == 2
+
+    def test_num_layers(self):
+        assert num_layers(8) == 4
+        assert num_layers(7) == 4
+        assert num_layers(1) == 1
+
+    def test_layer_side(self):
+        assert layer_side(8, 1) == 8
+        assert layer_side(8, 4) == 2
+        assert layer_side(7, 4) == 1
+
+
+class TestRect:
+    def test_from_origin(self):
+        r = Rect.from_origin((1, 2), (3, 4))
+        assert r.lo == (1, 2)
+        assert r.hi == (3, 5)
+        assert r.lengths == (3, 4)
+        assert r.volume == 12
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Rect((2, 0), (1, 5))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Rect.from_origin((0, 0), (0, 3))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Rect((0, 0), (1, 1, 1))
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Rect((), ())
+
+    def test_contains(self):
+        r = Rect((1, 1), (3, 3))
+        assert r.contains((1, 1))
+        assert r.contains((3, 3))
+        assert not r.contains((0, 1))
+        assert not r.contains((1, 4))
+        assert not r.contains((1, 1, 1))
+
+    def test_fits_in(self):
+        r = Rect((0, 0), (7, 7))
+        assert r.fits_in(8)
+        assert not r.fits_in(7)
+        with pytest.raises(InvalidQueryError):
+            r.check_fits(7)
+
+    def test_cells_enumeration_matches_volume(self):
+        r = Rect((0, 1, 2), (1, 2, 4))
+        cells = list(r.cells())
+        assert len(cells) == r.volume
+        assert len(set(cells)) == r.volume
+        assert all(r.contains(c) for c in cells)
+
+    def test_cells_array_matches_cells(self):
+        r = Rect((2, 3), (5, 4))
+        arr = r.cells_array()
+        assert arr.shape == (r.volume, 2)
+        assert set(map(tuple, arr.tolist())) == set(r.cells())
+
+    def test_is_cube(self):
+        assert Rect.from_origin((0, 0), (3, 3)).is_cube()
+        assert not Rect.from_origin((0, 0), (3, 4)).is_cube()
+
+    def test_translate(self):
+        r = Rect((1, 1), (2, 2)).translate((3, -1))
+        assert r.lo == (4, 0)
+        assert r.hi == (5, 1)
+
+    def test_faces_cover_adjacent_shell(self):
+        r = Rect((2, 2), (4, 4))
+        shells = list(r.faces(8))
+        assert len(shells) == 4  # two per axis, none clipped
+        for axis, direction, shell in shells:
+            assert shell.lengths[axis] == 1
+
+    def test_faces_clipped_at_universe_edge(self):
+        r = Rect((0, 2), (4, 4))
+        axes = [(a, d) for a, d, _ in r.faces(8)]
+        assert (0, -1) not in axes  # clipped at x = 0
+        assert (0, +1) in axes
+
+
+class TestTranslations:
+    def test_num_translations(self):
+        assert num_translations(8, (3, 3)) == 36
+        assert num_translations(8, (8, 8)) == 1
+        assert num_translations(8, (9, 3)) == 0
+
+    def test_all_translations_count_and_membership(self):
+        rects = list(all_translations(6, (2, 3)))
+        assert len(rects) == num_translations(6, (2, 3))
+        assert all(r.fits_in(6) for r in rects)
+        assert len({r.lo for r in rects}) == len(rects)
+
+    @given(
+        side=st.integers(2, 10),
+        l1=st.integers(1, 10),
+        l2=st.integers(1, 10),
+    )
+    def test_num_translations_matches_enumeration(self, side, l1, l2):
+        expected = num_translations(side, (l1, l2))
+        if expected == 0:
+            assert l1 > side or l2 > side
+        else:
+            assert expected == sum(1 for _ in all_translations(side, (l1, l2)))

@@ -1,0 +1,74 @@
+"""The public API surface: imports, __all__ integrity, docstrings."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.curves",
+    "repro.core",
+    "repro.analysis",
+    "repro.storage",
+    "repro.index",
+    "repro.experiments",
+    "repro.geometry",
+    "repro.errors",
+    "repro.visualize",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestModuleSurface:
+    def test_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_quickstart_names_available(self):
+        from repro import (  # noqa: F401
+            Rect,
+            SFCIndex,
+            average_clustering,
+            clustering_number,
+            curve_names,
+            make_curve,
+            query_runs,
+        )
+
+    def test_public_callables_have_docstrings(self):
+        import repro
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_curve_classes_documented(self):
+        import repro
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_registry_covers_exported_curves(self):
+        from repro import curve_names
+
+        names = set(curve_names())
+        assert {"onion", "hilbert", "peano", "zorder", "gray", "snake"} <= names

@@ -1,0 +1,71 @@
+"""ASCII visualization."""
+
+import pytest
+
+from repro.curves import make_curve
+from repro.errors import InvalidQueryError
+from repro.geometry import Rect
+from repro.visualize import render_clusters, render_keys, render_path
+
+
+class TestRenderKeys:
+    def test_onion_4x4_matches_figure3(self):
+        text = render_keys(make_curve("onion", 4, 2))
+        rows = [line.split() for line in text.splitlines()]
+        # Top row (y = 3) of Figure 3: 9 8 7 6.
+        assert rows[0] == ["9", "8", "7", "6"]
+        # Bottom row (y = 0): 0 1 2 3.
+        assert rows[3] == ["0", "1", "2", "3"]
+
+    def test_every_key_appears_once(self):
+        text = render_keys(make_curve("hilbert", 4, 2))
+        values = sorted(int(v) for v in text.split())
+        assert values == list(range(16))
+
+    def test_3d_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            render_keys(make_curve("onion", 4, 3))
+
+
+class TestRenderPath:
+    def test_dimensions(self):
+        text = render_path(make_curve("hilbert", 8, 2))
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line.split()) == 8 for line in lines)
+
+    def test_continuous_curve_has_no_jumps(self):
+        text = render_path(make_curve("onion", 8, 2))
+        assert "*" not in text
+        assert text.count("o") == 1
+
+    def test_z_curve_shows_jumps(self):
+        text = render_path(make_curve("zorder", 8, 2))
+        assert "*" in text
+
+
+class TestRenderClusters:
+    def test_figure2_onion_single_cluster(self):
+        curve = make_curve("onion", 8, 2)
+        rect = Rect.from_origin((0, 1), (7, 7))
+        text = render_clusters(curve, rect)
+        assert text.startswith("1 cluster(s)")
+        body = text.split("\n", 1)[1]
+        assert body.count("A") == 49
+        assert "B" not in body
+
+    def test_figure2_hilbert_five_clusters(self):
+        curve = make_curve("hilbert", 8, 2)
+        rect = Rect.from_origin((0, 1), (7, 7))
+        text = render_clusters(curve, rect)
+        assert text.startswith("5 cluster(s)")
+        body = text.split("\n", 1)[1]
+        for label in "ABCDE":
+            assert label in body
+        assert "F" not in body
+
+    def test_cells_outside_query_are_dots(self):
+        curve = make_curve("onion", 8, 2)
+        text = render_clusters(curve, Rect((2, 2), (4, 4)))
+        body = text.split("\n", 1)[1]
+        assert body.count(".") == 64 - 9
