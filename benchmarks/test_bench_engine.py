@@ -1,0 +1,114 @@
+"""Engine benchmarks: plan-cache hit rate and batch-vs-loop speedup.
+
+The two throughput levers the planner/executor split adds: repeated
+workloads stop re-planning (LRU plan cache keyed by curve/rect/policy),
+and whole workloads execute as one key-ordered shared scan instead of a
+query-at-a-time loop.  The acceptance assertion lives here too: a batch
+of >= 500 rects must need strictly fewer seeks than the equivalent loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.experiments import engine_io
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+SIDE = 64
+NUM_POINTS = 5000
+NUM_RECTS = 600
+
+
+def _build(**kwargs):
+    index = SFCIndex(make_curve("onion", SIDE, 2), page_capacity=8, **kwargs)
+    rng = np.random.default_rng(17)
+    index.bulk_load(map(tuple, rng.integers(0, SIDE, size=(NUM_POINTS, 2))))
+    index.flush()
+    return index
+
+
+def _corner_rects(count, seed=41):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, SIDE, size=(count, 2))
+    b = rng.integers(0, SIDE, size=(count, 2))
+    return [
+        Rect(tuple(map(int, np.minimum(x, y))), tuple(map(int, np.maximum(x, y))))
+        for x, y in zip(a, b)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return _build()
+
+
+@pytest.fixture(scope="module")
+def rects():
+    return _corner_rects(NUM_RECTS)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+def test_bench_planning_cold(benchmark, rects):
+    """Planning without a cache: every query pays run construction."""
+    index = _build(plan_cache_size=0)
+    hot = rects[:50]
+    benchmark(lambda: [index.plan(r) for r in hot])
+
+
+def test_bench_planning_cached(benchmark, index, rects):
+    """Planning a repeated workload: all but the first pass hits."""
+    hot = rects[:50]
+    [index.plan(r) for r in hot]  # populate
+    benchmark(lambda: [index.plan(r) for r in hot])
+
+
+def test_plan_cache_hit_rate_on_repeated_workload(index, rects):
+    hot = rects[:40]
+    before = index.plan_cache.stats.hits
+    plans = {}
+    for _ in range(25):
+        for rect in hot:
+            plans[rect] = index.plan(rect)
+    stats = index.plan_cache.stats
+    assert stats.hits - before >= 24 * len(hot)  # only round one can miss
+    assert stats.hit_rate > 0.9
+    for rect in hot:  # cached plans are reused, not rebuilt
+        assert index.plan(rect) is plans[rect]
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+def test_bench_loop_execution(benchmark, index, rects):
+    benchmark(lambda: [index.range_query(r) for r in rects])
+
+
+def test_bench_batch_execution(benchmark, index, rects):
+    benchmark(index.range_query_batch, rects)
+
+
+def test_batch_beats_loop_on_seeks(index, rects):
+    """Acceptance: >= 500 rects batched -> strictly fewer total seeks."""
+    assert len(rects) >= 500
+    index.disk.reset_stats()
+    loop_seeks = sum(index.range_query(r).seeks for r in rects)
+    index.disk.reset_stats()
+    batch = index.range_query_batch(rects)
+    assert batch.total_seeks < loop_seeks
+    assert batch.cost() < loop_seeks * 10.1  # strictly cheaper in sim time
+    assert batch.total_records == sum(
+        len(index.range_query(r).records) for r in rects
+    )
+
+
+@pytest.mark.bench_experiment
+def test_bench_engine_experiment(benchmark, scale, reports):
+    """The engine I/O experiment: fig5/fig7 workloads through batches."""
+    result = benchmark.pedantic(engine_io.run, args=(scale,), kwargs={"dim": 2}, rounds=1)
+    reports.append(result.render())
+    loop = result.column("loop seeks")
+    batch = result.column("batch seeks")
+    assert sum(batch) < sum(loop)

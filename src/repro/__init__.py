@@ -11,6 +11,9 @@ The package provides:
   Lemmas 7–8), exact O(n) averages, lower bounds and approximation ratios;
 * :mod:`repro.storage` / :mod:`repro.index` — a simulated disk, B+-tree
   and SFC-keyed spatial index that turn clustering numbers into seeks;
+* :mod:`repro.engine` — the planner/executor split behind the index:
+  immutable :class:`QueryPlan` objects with pluggable :class:`CostModel`
+  pricing, an LRU :class:`PlanCache`, and key-ordered batch execution;
 * :mod:`repro.experiments` — regeneration of every table and figure.
 
 Quickstart::
@@ -20,6 +23,16 @@ Quickstart::
     hilbert = make_curve("hilbert", side=64, dim=2)
     query = Rect.from_origin((10, 10), (40, 40))
     clustering_number(onion, query), clustering_number(hilbert, query)
+
+Plan, inspect, execute::
+
+    from repro import SFCIndex
+    index = SFCIndex(onion, page_capacity=16)
+    index.bulk_load([(x, y) for x in range(64) for y in range(64)])
+    index.flush()
+    print(index.explain(query))            # estimated seeks == clustering
+    result = index.range_query(query)      # measured seeks
+    batch = index.range_query_batch([query.translate((1, 0))] * 100)
 """
 
 from .curves import (
@@ -42,11 +55,21 @@ from .core import (
     clustering_number,
     query_runs,
 )
+from .engine import (
+    BatchResult,
+    CostModel,
+    ExecutionPolicy,
+    Executor,
+    PlanCache,
+    Planner,
+    QueryPlan,
+    RangeQueryResult,
+)
 from .errors import ReproError
 from .geometry import Rect
 from .index import SFCIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpaceFillingCurve",
@@ -67,6 +90,14 @@ __all__ = [
     "average_clustering",
     "query_runs",
     "SFCIndex",
+    "BatchResult",
+    "CostModel",
+    "ExecutionPolicy",
+    "Executor",
+    "PlanCache",
+    "Planner",
+    "QueryPlan",
+    "RangeQueryResult",
     "ReproError",
     "__version__",
 ]

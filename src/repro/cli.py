@@ -7,6 +7,10 @@ Commands::
     cell   --curve NAME --side S  KEY     curve key -> cell
     cluster --curve NAME --side S --lo x,y --hi x,y
                                           clustering number + key runs
+    explain --curve NAME --side S --lo x,y --hi x,y
+                                          EXPLAIN a range query's plan
+    batch  --curve NAME --side S --count N
+                                          batched vs query-at-a-time I/O
     render --curve NAME --side S [--mode keys|path]
                                           ASCII picture of the curve
     experiments …                         the experiment harness
@@ -19,11 +23,15 @@ import argparse
 import sys
 from typing import List
 
+import numpy as np
+
 from .core.clustering import clustering_number
+from .core.queries import random_cubes
 from .core.runs import query_runs
 from .curves import curve_names, make_curve
 from .experiments.cli import main as experiments_main
 from .geometry import Rect
+from .index import SFCIndex
 from .visualize import render_clusters, render_keys, render_path
 
 __all__ = ["main"]
@@ -37,6 +45,26 @@ def _add_curve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--curve", default="onion", choices=curve_names())
     parser.add_argument("--side", type=int, default=8)
     parser.add_argument("--dim", type=int, default=2)
+
+
+def _add_index_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--points", type=int, default=4000, help="random points to index"
+    )
+    parser.add_argument("--page-capacity", type=int, default=16)
+    parser.add_argument("--gap", type=int, default=0, help="gap tolerance")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_index(args: argparse.Namespace) -> SFCIndex:
+    """An index over random points, for the explain/batch commands."""
+    curve = make_curve(args.curve, args.side, args.dim)
+    index = SFCIndex(curve, page_capacity=args.page_capacity)
+    rng = np.random.default_rng(args.seed)
+    count = min(args.points, curve.size)
+    index.bulk_load(rng.integers(0, args.side, size=(count, args.dim)))
+    index.flush()
+    return index
 
 
 def main(argv: List[str] = None) -> int:
@@ -69,6 +97,22 @@ def main(argv: List[str] = None) -> int:
         "--draw", action="store_true", help="draw the cluster map (2-d only)"
     )
 
+    explain_p = sub.add_parser("explain", help="EXPLAIN a range query's plan")
+    _add_curve_args(explain_p)
+    _add_index_args(explain_p)
+    explain_p.add_argument("--lo", type=_parse_cell, required=True)
+    explain_p.add_argument("--hi", type=_parse_cell, required=True)
+
+    batch_p = sub.add_parser(
+        "batch", help="compare batched vs query-at-a-time execution"
+    )
+    _add_curve_args(batch_p)
+    _add_index_args(batch_p)
+    batch_p.add_argument("--count", type=int, default=200, help="queries in the batch")
+    batch_p.add_argument(
+        "--length", type=int, default=0, help="cube side (default: side // 4)"
+    )
+
     render_p = sub.add_parser("render", help="ASCII picture of a curve")
     _add_curve_args(render_p)
     render_p.add_argument("--mode", choices=("keys", "path"), default="keys")
@@ -95,6 +139,47 @@ def main(argv: List[str] = None) -> int:
                 print(f"  run [{start}, {end}]")
         if args.draw:
             print(render_clusters(curve, rect))
+        return 0
+    if args.command == "explain":
+        index = _build_index(args)
+        rect = Rect(args.lo, args.hi)
+        print(f"{len(index)} random points indexed (seed {args.seed})")
+        print(index.explain(rect, gap_tolerance=args.gap))
+        result = index.range_query(rect, gap_tolerance=args.gap)
+        print(
+            f"executed: {result.seeks} seeks, {result.pages_read} pages, "
+            f"{len(result.records)} records, {result.cost():.1f} sim-ms"
+        )
+        return 0
+    if args.command == "batch":
+        index = _build_index(args)
+        length = args.length or max(1, args.side // 4)
+        rng = np.random.default_rng(args.seed + 1)
+        rects = random_cubes(args.side, args.dim, length, args.count, rng)
+        index.disk.reset_stats()
+        loop_seeks = 0
+        loop_cost = 0.0
+        for rect in rects:
+            result = index.range_query(rect, gap_tolerance=args.gap)
+            loop_seeks += result.seeks
+            loop_cost += result.cost()
+        index.disk.reset_stats()
+        batch = index.range_query_batch(rects, gap_tolerance=args.gap)
+        print(f"{len(rects)} cube queries of side {length} on {index.curve!r}")
+        print(f"query-at-a-time: {loop_seeks:>7} seeks  {loop_cost:>10.1f} sim-ms")
+        print(
+            f"batched:         {batch.total_seeks:>7} seeks  "
+            f"{batch.cost():>10.1f} sim-ms"
+        )
+        if batch.total_seeks:
+            print(f"seek reduction:  {loop_seeks / batch.total_seeks:.1f}x")
+        cache = index.plan_cache
+        if cache is not None:
+            print(
+                f"plan cache:      {cache.stats.hits} hits / "
+                f"{cache.stats.lookups} lookups "
+                f"({100 * cache.stats.hit_rate:.0f}% across both passes)"
+            )
         return 0
     if args.command == "render":
         renderer = render_keys if args.mode == "keys" else render_path

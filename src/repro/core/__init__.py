@@ -27,7 +27,7 @@ from .queries import (
     rows_query_set,
     translation_query_set,
 )
-from .runs import query_runs
+from .runs import query_runs, query_runs_vectorized
 
 __all__ = [
     "average_clustering",
@@ -53,4 +53,5 @@ __all__ = [
     "rows_query_set",
     "translation_query_set",
     "query_runs",
+    "query_runs_vectorized",
 ]

@@ -27,7 +27,7 @@ from ..geometry import Rect
 from .clustering import _contains_many, boundary_cells_array
 from .prefix_ranges import block_ranges, merge_ranges
 
-__all__ = ["query_runs", "merge_runs_with_gaps"]
+__all__ = ["query_runs", "query_runs_vectorized", "merge_runs_with_gaps"]
 
 KeyRun = Tuple[int, int]  # inclusive (start_key, end_key)
 
@@ -119,6 +119,18 @@ def _runs_boundary(curve: SpaceFillingCurve, rect: Rect) -> List[KeyRun]:
             f"run starts ({starts.size}) and ends ({ends.size}) out of balance"
         )
     return [(int(s), int(e)) for s, e in zip(starts, ends)]
+
+
+def query_runs_vectorized(curve: SpaceFillingCurve, rect: Rect) -> List[KeyRun]:
+    """Exact key runs via one bulk ``index_many`` call over the rect.
+
+    O(volume), but a single vectorized kernel invocation with no
+    boundary/discontinuity machinery — the planner's fast path for small
+    rects on curves with true numpy kernels.  Output is identical to
+    :func:`query_runs`.
+    """
+    rect.check_fits(curve.side)
+    return _runs_exhaustive(curve, rect)
 
 
 def query_runs(curve: SpaceFillingCurve, rect: Rect) -> List[KeyRun]:

@@ -1,0 +1,45 @@
+"""``repro.engine`` — query planning split from query execution.
+
+The paper's thesis is that the clustering number *predicts* a range
+query's seek cost before any I/O happens.  This subsystem turns that into
+an architecture, the way database engines separate a planner from an
+executor:
+
+* :mod:`~repro.engine.cost` — the :class:`CostModel` pricing seeks and
+  sequential reads, shared by estimated and measured costs;
+* :mod:`~repro.engine.plan` — immutable :class:`QueryPlan` objects (key
+  runs, page spans, ``estimated_seeks``/``estimated_cost()``) plus the
+  :class:`ExecutionPolicy` (gap tolerance) and :class:`PageLayout`;
+* :mod:`~repro.engine.planner` — the :class:`Planner`, pure computation
+  with a vectorized run-construction fast path;
+* :mod:`~repro.engine.cache` — an LRU :class:`PlanCache` keyed by
+  ``(curve, rect, policy)`` so repeated workloads stop re-planning;
+* :mod:`~repro.engine.executor` — the :class:`Executor` running plans
+  against the paged storage, including key-ordered
+  :meth:`~Executor.execute_batch` for whole workloads.
+
+:class:`repro.SFCIndex` wires these together and remains the convenient
+facade; use the engine directly to inspect plans, compare curves by
+estimated cost, or drive batched workloads.
+"""
+
+from .cache import PlanCache, PlanCacheStats
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .executor import BatchResult, Executor, RangeQueryResult, Record
+from .plan import ExecutionPolicy, PageLayout, QueryPlan
+from .planner import Planner
+
+__all__ = [
+    "BatchResult",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ExecutionPolicy",
+    "Executor",
+    "PageLayout",
+    "PlanCache",
+    "PlanCacheStats",
+    "Planner",
+    "QueryPlan",
+    "RangeQueryResult",
+    "Record",
+]

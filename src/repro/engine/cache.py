@@ -1,0 +1,83 @@
+"""An LRU cache of query plans.
+
+Workloads repeat themselves: translation sweeps, hot regions, dashboard
+refreshes.  Planning is pure, so a plan for ``(curve, rect, policy)`` is
+valid until the on-disk layout changes — the index invalidates the cache
+on every reflush.  Curves, rects and policies are all hashable, so the
+triple keys an ``OrderedDict`` LRU directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from ..errors import StorageError
+from ..geometry import Rect
+from ..curves.base import SpaceFillingCurve
+from .plan import ExecutionPolicy, QueryPlan
+
+__all__ = ["PlanCache", "PlanCacheStats", "PlanKey"]
+
+PlanKey = Tuple[SpaceFillingCurve, Rect, ExecutionPolicy]
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss counters for a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class PlanCache:
+    """A fixed-capacity LRU map from ``(curve, rect, policy)`` to plans."""
+
+    capacity: int = 256
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise StorageError(f"capacity must be >= 1, got {self.capacity}")
+        self._plans: "OrderedDict[Hashable, QueryPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: PlanKey) -> Optional[QueryPlan]:
+        """The cached plan for ``key``, refreshing its recency, or None."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.stats.hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: QueryPlan) -> None:
+        """Cache ``plan`` under ``key``, evicting the LRU entry when full."""
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        if len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (the page layout changed)."""
+        if self._plans:
+            self.stats.invalidations += 1
+        self._plans.clear()

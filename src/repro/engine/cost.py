@@ -1,0 +1,13 @@
+"""Cost-model re-export: the engine's pricing lives in
+:mod:`repro.costmodel`.
+
+The :class:`CostModel` sits *below* both the storage layer and the
+engine (``storage.disk`` prices measured reads with it, the planner
+prices estimates), so its implementation is a top-level module with no
+package dependencies.  The engine re-exports it here because cost
+models are part of the engine's public surface.
+"""
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

@@ -1,0 +1,123 @@
+"""The planner: turns (curve, rect, policy) into an immutable QueryPlan.
+
+Planning is pure computation — no I/O, no index state beyond the optional
+:class:`~repro.engine.plan.PageLayout` — which is what lets callers
+inspect and compare plans (e.g. rank curves by ``estimated_cost``) before
+touching the disk, and lets the :class:`~repro.engine.cache.PlanCache`
+reuse them across repeated queries.
+
+Run construction dispatches between :func:`repro.core.runs.query_runs`
+(boundary/prefix machinery, O(surface)) and the bulk-vectorized
+:func:`repro.core.runs.query_runs_vectorized` (one ``index_many`` call
+over the rect's cells, O(volume)): for small rects on curves with a true
+numpy ``index_many`` kernel the vectorized path wins, for large rects the
+boundary path does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.runs import merge_runs_with_gaps, query_runs, query_runs_vectorized
+from ..curves.base import SpaceFillingCurve
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
+from ..geometry import Rect
+
+__all__ = ["Planner", "VECTORIZE_VOLUME_MAX"]
+
+#: Largest rect volume routed through the O(volume) vectorized path.
+VECTORIZE_VOLUME_MAX = 1024
+
+
+class Planner:
+    """Produces :class:`QueryPlan` objects for one curve.
+
+    Parameters
+    ----------
+    curve:
+        The curve keys are computed under.
+    cost_model:
+        Prices attached to every plan (estimated costs use it).
+    vectorize_volume_max:
+        Rects up to this volume use the bulk ``index_many`` run
+        construction when the curve ships a vectorized kernel; ``0``
+        disables the fast path.
+    """
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        vectorize_volume_max: int = VECTORIZE_VOLUME_MAX,
+    ):
+        self._curve = curve
+        self._cost_model = cost_model
+        self._vectorize_volume_max = vectorize_volume_max
+        # Only curves that override the base (loop-based) kernel benefit
+        # from the O(volume) bulk path.
+        self._has_vector_kernel = (
+            type(curve).index_many is not SpaceFillingCurve.index_many
+        )
+
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        """The curve this planner plans for."""
+        return self._curve
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model attached to produced plans."""
+        return self._cost_model
+
+    def key_runs(self, rect: Rect) -> List[KeyRun]:
+        """Exact key runs of ``rect``, choosing the cheaper construction."""
+        if (
+            self._has_vector_kernel
+            and 0 < rect.volume <= self._vectorize_volume_max
+        ):
+            return query_runs_vectorized(self._curve, rect)
+        return query_runs(self._curve, rect)
+
+    def plan(
+        self,
+        rect: Rect,
+        policy: ExecutionPolicy = ExecutionPolicy(),
+        layout: Optional[PageLayout] = None,
+    ) -> QueryPlan:
+        """Plan one range query.
+
+        With a ``layout`` the plan carries per-run page spans and predicts
+        the executor's exact seek/sequential split; without one it falls
+        back to the paper's pure model (one seek per scan run).
+        """
+        rect.check_fits(self._curve.side)
+        runs = self.key_runs(rect)
+        scan_runs = (
+            merge_runs_with_gaps(runs, policy.gap_tolerance)
+            if policy.gap_tolerance
+            else runs
+        )
+        page_spans = (
+            tuple(layout.span(start, end) for start, end in scan_runs)
+            if layout is not None
+            else None
+        )
+        return QueryPlan(
+            curve=self._curve,
+            rect=rect,
+            policy=policy,
+            runs=tuple(runs),
+            scan_runs=tuple(scan_runs),
+            page_spans=page_spans,
+            cost_model=self._cost_model,
+        )
+
+    def plan_many(
+        self,
+        rects: Iterable[Rect],
+        policy: ExecutionPolicy = ExecutionPolicy(),
+        layout: Optional[PageLayout] = None,
+    ) -> List[QueryPlan]:
+        """Plan a whole workload (one plan per rect, same policy)."""
+        return [self.plan(rect, policy, layout) for rect in rects]

@@ -2,6 +2,7 @@
 
 from . import (
     distributions,
+    engine_io,
     fig1,
     fig2,
     fig5,
@@ -22,6 +23,7 @@ from .stats import BoxStats
 
 __all__ = [
     "distributions",
+    "engine_io",
     "gap_ablation",
     "higher_dims",
     "stretch_table",

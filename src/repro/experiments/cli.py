@@ -14,6 +14,7 @@ from typing import Callable, Dict, List
 
 from . import (
     distributions,
+    engine_io,
     fig1,
     fig2,
     fig5,
@@ -33,6 +34,7 @@ from .config import SCALES, get_scale
 __all__ = ["main"]
 
 _DIMMED: Dict[str, Callable] = {
+    "engine": engine_io.run,
     "fig5": fig5.run,
     "fig5-exact": distributions.run,
     "fig6": fig6.run,

@@ -3,66 +3,40 @@
 This is the substrate the paper motivates but does not ship: points are
 mapped to 1-D keys by a space filling curve, stored in a B+-tree for
 updates and point lookups, and flushed to a simulated disk in key order
-for scans.  A rectangular range query is planned as the query's exact key
-runs (:func:`repro.core.runs.query_runs`) and executed as one sequential
-page scan per run — so the number of *seeks* the simulated disk charges
-is exactly the paper's clustering number (whenever runs do not share
-pages), which the integration tests assert.
+for scans.
+
+Range queries go through the :mod:`repro.engine` planner/executor split:
+:meth:`SFCIndex.plan` produces an immutable
+:class:`~repro.engine.plan.QueryPlan` (the query's exact key runs, their
+page spans and the predicted seek count — the paper's clustering number
+whenever runs do not share pages, which the integration tests assert),
+:meth:`SFCIndex.explain` renders it, and the executor turns it into page
+reads.  Plans are memoized in an LRU :class:`~repro.engine.cache.PlanCache`
+keyed by ``(curve, rect, policy)``; :meth:`SFCIndex.range_query_batch`
+executes whole workloads in key order to trade inter-query seeks for
+sequential reads.  :meth:`SFCIndex.range_query` remains the one-call
+facade with the historical signature.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..curves.base import SpaceFillingCurve
-from ..core.runs import merge_runs_with_gaps, query_runs
-from ..errors import InvalidQueryError
-from ..geometry import Cell, Rect
+from ..engine.cache import PlanCache
+from ..engine.cost import DEFAULT_COST_MODEL, CostModel
+from ..engine.executor import BatchResult, Executor, RangeQueryResult, Record
+from ..engine.plan import ExecutionPolicy, PageLayout, QueryPlan
+from ..engine.planner import Planner
+from ..errors import InvalidQueryError, OutOfUniverseError
+from ..geometry import Rect
 from ..storage.bplustree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 
 __all__ = ["Record", "RangeQueryResult", "SFCIndex"]
-
-
-@dataclass(frozen=True)
-class Record:
-    """A stored item: a grid cell plus an arbitrary payload."""
-
-    point: Cell
-    payload: Any = None
-
-
-@dataclass
-class RangeQueryResult:
-    """Records matched by a range query plus its simulated I/O profile."""
-
-    records: List[Record]
-    runs: int
-    seeks: int
-    sequential_reads: int
-    #: Records scanned but discarded because they sat in a tolerated gap
-    #: (only non-zero when ``gap_tolerance > 0``).
-    over_read: int = 0
-
-    @property
-    def pages_read(self) -> int:
-        """Total pages touched."""
-        return self.seeks + self.sequential_reads
-
-    def cost(self, seek_cost: float = 10.0, read_cost: float = 0.1) -> float:
-        """Simulated elapsed time under the configured disk constants."""
-        return self.seeks * (seek_cost + read_cost) + self.sequential_reads * read_cost
-
-
-@dataclass
-class _PageDirectory:
-    """Key layout of the flushed pages: ``first_keys[i]`` starts page ``i``."""
-
-    first_keys: List[int] = field(default_factory=list)
-    page_ids: List[int] = field(default_factory=list)
 
 
 class SFCIndex:
@@ -76,6 +50,13 @@ class SFCIndex:
         Records per simulated disk page.
     tree_order:
         Fan-out of the in-memory B+-tree.
+    buffer_pages:
+        LRU buffer-pool capacity in pages (0 disables the pool).
+    cost_model:
+        Prices attached to plans produced by this index (defaults to the
+        shared :data:`~repro.engine.cost.DEFAULT_COST_MODEL`).
+    plan_cache_size:
+        Capacity of the plan cache (0 disables plan caching).
     """
 
     def __init__(
@@ -84,6 +65,8 @@ class SFCIndex:
         page_capacity: int = 64,
         tree_order: int = 32,
         buffer_pages: int = 0,
+        cost_model: Optional[CostModel] = None,
+        plan_cache_size: int = 256,
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
@@ -92,7 +75,11 @@ class SFCIndex:
         self._tree = BPlusTree(order=tree_order)
         self._disk = SimulatedDisk()
         self._pool = BufferPool(self._disk, buffer_pages) if buffer_pages else None
-        self._directory: Optional[_PageDirectory] = None
+        self._cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self._planner = Planner(curve, cost_model=self._cost_model)
+        self._plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
+        self._layout: Optional[PageLayout] = None
+        self._executor: Optional[Executor] = None
         self._count = 0
 
     @property
@@ -110,32 +97,95 @@ class SFCIndex:
         """The LRU pool absorbing re-reads, when configured."""
         return self._pool
 
+    @property
+    def planner(self) -> Planner:
+        """The planner producing this index's query plans."""
+        return self._planner
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The LRU plan cache, when enabled."""
+        return self._plan_cache
+
+    @property
+    def page_layout(self) -> Optional[PageLayout]:
+        """Key layout of the flushed pages (None until a flush)."""
+        return self._layout
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The executor bound to the current layout (None until a flush)."""
+        return self._executor
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model pricing this index's plans."""
+        return self._cost_model
+
     def __len__(self) -> int:
         return self._count
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert(self, point: Sequence[int], payload: Any = None) -> None:
-        """Add a record at ``point``; multiple records per cell are allowed."""
-        key = self._curve.index(point)
-        record = Record(tuple(int(c) for c in point), payload)
+    def _append_record(self, key: int, record: Record) -> None:
+        """Append one record to its key bucket (no layout bookkeeping)."""
         bucket = self._tree.get(key)
         if bucket is None:
             self._tree.insert(key, [record])
         else:
             bucket.append(record)
-        self._count += 1
-        self._directory = None  # on-disk layout is stale
 
-    def bulk_load(self, points: Iterable[Sequence[int]], payloads: Optional[Iterable[Any]] = None) -> None:
-        """Insert many points (paired with ``payloads`` when given)."""
+    def insert(self, point: Sequence[int], payload: Any = None) -> None:
+        """Add a record at ``point``; multiple records per cell are allowed."""
+        key = self._curve.index(point)
+        self._append_record(key, Record(tuple(int(c) for c in point), payload))
+        self._count += 1
+        self._invalidate_layout()  # on-disk layout is stale
+
+    def bulk_load(
+        self,
+        points: Iterable[Sequence[int]],
+        payloads: Optional[Iterable[Any]] = None,
+    ) -> None:
+        """Insert many points (paired with ``payloads`` when given).
+
+        Keys are computed in one vectorized :meth:`index_many` call and
+        the on-disk layout is invalidated once at the end, instead of the
+        key-at-a-time / invalidate-per-insert cost of repeated
+        :meth:`insert` calls.  ``payloads`` may be longer than ``points``
+        (extras ignored, so infinite iterators work) but running out of
+        payloads mid-load is an error, not silent truncation.
+        """
+        cells: List[Tuple[int, ...]] = []
+        attached: List[Any] = []
         if payloads is None:
-            for point in points:
-                self.insert(point)
+            cells = [tuple(int(c) for c in point) for point in points]
+            attached = [None] * len(cells)
         else:
-            for point, payload in zip(points, payloads):
-                self.insert(point, payload)
+            payload_iter = iter(payloads)
+            for point in points:
+                try:
+                    payload = next(payload_iter)
+                except StopIteration:
+                    raise InvalidQueryError(
+                        f"payloads exhausted after {len(cells)} points"
+                    ) from None
+                cells.append(tuple(int(c) for c in point))
+                attached.append(payload)
+        if not cells:
+            return
+        dim = self._curve.dim
+        if any(len(cell) != dim for cell in cells):
+            bad = next(cell for cell in cells if len(cell) != dim)
+            raise OutOfUniverseError(
+                f"cell {bad!r} outside {dim}-d universe of side {self._curve.side}"
+            )
+        keys = self._curve.index_many(np.asarray(cells, dtype=np.int64))
+        for key, cell, payload in zip(keys, cells, attached):
+            self._append_record(int(key), Record(cell, payload))
+        self._count += len(cells)
+        self._invalidate_layout()
 
     def delete(self, point: Sequence[int], payload: Any = None) -> bool:
         """Remove one record matching ``point`` (and ``payload``, if given).
@@ -155,7 +205,7 @@ class SFCIndex:
         if not bucket:
             self._tree.delete(key)
         self._count -= 1
-        self._directory = None
+        self._invalidate_layout()
         return True
 
     def point_query(self, point: Sequence[int]) -> List[Record]:
@@ -167,27 +217,76 @@ class SFCIndex:
     # ------------------------------------------------------------------
     # On-disk layout
     # ------------------------------------------------------------------
+    def _invalidate_layout(self) -> None:
+        self._layout = None
+        self._executor = None
+
     def flush(self) -> None:
         """Lay every record out on the simulated disk in curve-key order.
 
-        Pages are filled to ``page_capacity`` records; the page directory
-        records each page's first key for binary-searchable scans.
+        Pages are filled to ``page_capacity`` records; the page layout
+        records each page's first key for binary-searchable scans.  The
+        buffer pool and the plan cache are invalidated — both refer to
+        the previous layout.
         """
-        directory = _PageDirectory()
+        layout = PageLayout()
         page: List[Tuple[int, Record]] = []
         for key, bucket in self._tree.items():
             for record in bucket:
                 if not page:
-                    directory.first_keys.append(key)
+                    layout.first_keys.append(key)
                 page.append((key, record))
                 if len(page) == self._page_capacity:
-                    directory.page_ids.append(self._disk.allocate(page))
+                    layout.last_keys.append(key)
+                    layout.page_ids.append(self._disk.allocate(page))
                     page = []
         if page:
-            directory.page_ids.append(self._disk.allocate(page))
-        self._directory = directory
+            layout.last_keys.append(page[-1][0])
+            layout.page_ids.append(self._disk.allocate(page))
+        self._layout = layout
         if self._pool is not None:
             self._pool.invalidate()
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
+        reader = self._pool.read if self._pool is not None else None
+        self._executor = Executor(self._disk, layout, reader=reader)
+
+    def _ensure_flushed(self) -> Executor:
+        if self._layout is None or self._executor is None:
+            self.flush()
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        rect: Rect,
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> QueryPlan:
+        """Plan ``rect`` against the current layout (flushing if stale).
+
+        Pass either ``gap_tolerance`` (convenience) or an explicit
+        ``policy``; the policy wins when both are given.  Plans are
+        memoized per ``(curve, rect, policy)`` until the next reflush.
+        """
+        if policy is None:
+            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        rect.check_fits(self._curve.side)
+        self._ensure_flushed()
+        if self._plan_cache is None:
+            return self._planner.plan(rect, policy, layout=self._layout)
+        key = (self._curve, rect, policy)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._planner.plan(rect, policy, layout=self._layout)
+            self._plan_cache.put(key, plan)
+        return plan
+
+    def explain(self, rect: Rect, gap_tolerance: int = 0) -> str:
+        """Human-readable plan for ``rect`` (the engine's EXPLAIN)."""
+        return self.plan(rect, gap_tolerance=gap_tolerance).explain()
 
     # ------------------------------------------------------------------
     # Range queries
@@ -195,7 +294,8 @@ class SFCIndex:
     def range_query(self, rect: Rect, gap_tolerance: int = 0) -> RangeQueryResult:
         """All records inside ``rect`` plus the simulated I/O profile.
 
-        Plans the query as exact key runs, then scans each run's pages
+        A thin facade over the engine: plans the query as exact key runs
+        (cached across repeats), then the executor scans each run's pages
         sequentially (first page of a run costs a seek unless it directly
         follows the previous read).
 
@@ -204,41 +304,25 @@ class SFCIndex:
         that many keys are scanned as one, trading over-read records
         (reported in ``over_read``) for fewer seeks.
         """
-        rect.check_fits(self._curve.side)
-        if self._directory is None:
-            self.flush()
-        directory = self._directory
-        runs = query_runs(self._curve, rect)
-        scan_runs = merge_runs_with_gaps(runs, gap_tolerance) if gap_tolerance else runs
-        seeks_before = self._disk.stats.seeks
-        seq_before = self._disk.stats.sequential_reads
-        reader = self._pool.read if self._pool is not None else self._disk.read
-        records: List[Record] = []
-        over_read = 0
-        for start, end in scan_runs:
-            # bisect_left so that duplicate keys spilling past a page
-            # boundary are picked up from the earlier page as well.
-            page_pos = bisect.bisect_left(directory.first_keys, start) - 1
-            page_pos = max(page_pos, 0)
-            while page_pos < len(directory.page_ids):
-                first_key = directory.first_keys[page_pos]
-                if first_key > end:
-                    break
-                page = reader(directory.page_ids[page_pos])
-                if page[-1][0] >= start:
-                    for key, record in page:
-                        if start <= key <= end:
-                            if rect.contains(record.point):
-                                records.append(record)
-                            else:
-                                over_read += 1
-                if page[-1][0] > end:
-                    break
-                page_pos += 1
-        return RangeQueryResult(
-            records=records,
-            runs=len(scan_runs),
-            seeks=self._disk.stats.seeks - seeks_before,
-            sequential_reads=self._disk.stats.sequential_reads - seq_before,
-            over_read=over_read,
-        )
+        plan = self.plan(rect, gap_tolerance=gap_tolerance)
+        return self._ensure_flushed().execute(plan)
+
+    def range_query_batch(
+        self,
+        rects: Sequence[Rect],
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> BatchResult:
+        """Execute a whole workload of rect queries in key order.
+
+        Plans every rect (hitting the plan cache for repeats), then runs
+        the plans sorted by first scanned key, so a query starting where
+        the previous one ended reads sequentially instead of seeking.
+        ``results[i]`` corresponds to ``rects[i]``.
+        """
+        executor = self._ensure_flushed()
+        plans = [
+            self.plan(rect, gap_tolerance=gap_tolerance, policy=policy)
+            for rect in rects
+        ]
+        return executor.execute_batch(plans)

@@ -1,6 +1,14 @@
-"""Simulated storage substrate: disk model and B+-tree."""
+"""Simulated storage substrate: disk model, buffer pool and B+-tree."""
 
 from .bplustree import BPlusTree
-from .disk import DiskStats, SimulatedDisk
+from .buffer import BufferPool, BufferStats
+from .disk import DiskStats, SimulatedDisk, replay_reads
 
-__all__ = ["BPlusTree", "DiskStats", "SimulatedDisk"]
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "BufferStats",
+    "DiskStats",
+    "SimulatedDisk",
+    "replay_reads",
+]

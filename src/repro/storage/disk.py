@@ -16,9 +16,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Iterable, Tuple
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import PageError
 
-__all__ = ["DiskStats", "SimulatedDisk"]
+__all__ = ["DiskStats", "SimulatedDisk", "PARKED_HEAD", "replay_reads"]
+
+#: Head position whose successor is *not* sequential: a parked head.
+PARKED_HEAD = -2
+
+
+def replay_reads(page_spans: Iterable[Tuple[int, int]]) -> Tuple[int, int]:
+    """``(seeks, sequential_reads)`` of reading inclusive ``page_spans``
+    in order, starting from a parked head.
+
+    The single statement of the disk's accounting rule — reading page
+    ``p`` directly after page ``p − 1`` is sequential, anything else
+    seeks — shared by :meth:`SimulatedDisk.read` (measurement) and the
+    query planner's ``estimated_seeks`` (prediction), so the two can
+    never drift apart.
+    """
+    seeks = sequential = 0
+    head = PARKED_HEAD
+    for first, last in page_spans:
+        for page in range(first, last + 1):
+            if page == head + 1:
+                sequential += 1
+            else:
+                seeks += 1
+            head = page
+    return seeks, sequential
 
 
 @dataclass
@@ -34,9 +62,17 @@ class DiskStats:
         """Total page reads (seek or sequential)."""
         return self.seeks + self.sequential_reads
 
-    def cost(self, seek_cost: float = 10.0, read_cost: float = 0.1) -> float:
-        """Simulated elapsed time of all reads, in milliseconds by default."""
-        return self.seeks * (seek_cost + read_cost) + self.sequential_reads * read_cost
+    def cost(
+        self,
+        seek_cost: float = DEFAULT_COST_MODEL.seek_cost,
+        read_cost: float = DEFAULT_COST_MODEL.read_cost,
+    ) -> float:
+        """Simulated elapsed time of all reads, in milliseconds by default.
+
+        Defaults come from the shared :class:`~repro.engine.cost.CostModel`,
+        so measured costs use the same constants as planner estimates.
+        """
+        return CostModel(seek_cost, read_cost).io_cost(self.seeks, self.sequential_reads)
 
 
 @dataclass
@@ -45,7 +81,7 @@ class SimulatedDisk:
 
     stats: DiskStats = field(default_factory=DiskStats)
     _pages: list = field(default_factory=list)
-    _head: int = -2  # page id whose successor would be a sequential read
+    _head: int = PARKED_HEAD
 
     def allocate(self, payload) -> int:
         """Store ``payload`` in a fresh page and return its page id."""
@@ -81,4 +117,4 @@ class SimulatedDisk:
     def reset_stats(self) -> None:
         """Zero the counters and park the read head."""
         self.stats = DiskStats()
-        self._head = -2
+        self._head = PARKED_HEAD

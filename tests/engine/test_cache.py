@@ -1,0 +1,121 @@
+"""PlanCache: LRU behavior, keying, and index-level invalidation."""
+
+import pytest
+
+from repro.curves import make_curve
+from repro.engine import ExecutionPolicy, PlanCache, Planner
+from repro.errors import StorageError
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+
+def make_plan(rect=Rect((0, 0), (3, 3)), side=8):
+    curve = make_curve("onion", side, 2)
+    return curve, Planner(curve).plan(rect)
+
+
+class TestLru:
+    def test_get_put_roundtrip(self):
+        cache = PlanCache(capacity=4)
+        curve, plan = make_plan()
+        key = (curve, plan.rect, plan.policy)
+        assert cache.get(key) is None
+        cache.put(key, plan)
+        assert cache.get(key) is plan
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_evicts_least_recent(self):
+        cache = PlanCache(capacity=2)
+        curve = make_curve("onion", 8, 2)
+        planner = Planner(curve)
+        rects = [Rect((i, 0), (i, 0)) for i in range(3)]
+        keys = [(curve, r, ExecutionPolicy()) for r in rects]
+        for k, r in zip(keys, rects):
+            cache.put(k, planner.plan(r))
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[1]) is not None
+        assert cache.get(keys[2]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        curve = make_curve("onion", 8, 2)
+        planner = Planner(curve)
+        keys = [(curve, Rect((i, 0), (i, 0)), ExecutionPolicy()) for i in range(3)]
+        cache.put(keys[0], planner.plan(keys[0][1]))
+        cache.put(keys[1], planner.plan(keys[1][1]))
+        cache.get(keys[0])  # 0 becomes most recent
+        cache.put(keys[2], planner.plan(keys[2][1]))
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None  # 1 was the LRU entry
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            PlanCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = PlanCache()
+        assert cache.stats.hit_rate == 0.0
+        curve, plan = make_plan()
+        key = (curve, plan.rect, plan.policy)
+        cache.put(key, plan)
+        cache.get(key)
+        cache.get((curve, Rect((1, 1), (2, 2)), plan.policy))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestKeying:
+    def test_policy_distinguishes_entries(self):
+        index = SFCIndex(make_curve("hilbert", 16, 2), page_capacity=4)
+        index.bulk_load([(x, y) for x in range(16) for y in range(16)])
+        index.flush()
+        rect = Rect((1, 1), (12, 12))
+        exact = index.plan(rect)
+        merged = index.plan(rect, gap_tolerance=32)
+        assert exact is not merged
+        assert index.plan(rect) is exact
+        assert index.plan(rect, gap_tolerance=32) is merged
+
+    def test_equal_rects_share_entry(self):
+        index = SFCIndex(make_curve("onion", 8, 2), page_capacity=4)
+        index.bulk_load([(x, y) for x in range(8) for y in range(8)])
+        index.flush()
+        assert index.plan(Rect((1, 1), (5, 5))) is index.plan(Rect((1, 1), (5, 5)))
+
+
+class TestIndexIntegration:
+    def build(self, **kwargs):
+        index = SFCIndex(make_curve("onion", 8, 2), page_capacity=4, **kwargs)
+        index.bulk_load([(x, y) for x in range(8) for y in range(8)])
+        index.flush()
+        return index
+
+    def test_reflush_invalidates_cached_plans(self):
+        index = self.build()
+        rect = Rect((1, 1), (5, 5))
+        stale = index.plan(rect)
+        index.insert((0, 0), payload="late")  # layout becomes stale
+        fresh = index.plan(rect)  # auto-reflush must re-plan
+        assert fresh is not stale
+        assert index.plan_cache.stats.invalidations >= 1
+
+    def test_cache_disabled_when_size_zero(self):
+        index = self.build(plan_cache_size=0)
+        rect = Rect((1, 1), (5, 5))
+        assert index.plan_cache is None
+        assert index.plan(rect) is not index.plan(rect)
+        # results are unaffected by the missing cache
+        assert len(index.range_query(rect).records) == rect.volume
+
+    def test_repeated_workload_mostly_hits(self, rng):
+        index = self.build()
+        rects = [
+            Rect.from_origin((int(x), int(y)), (2, 2))
+            for x, y in rng.integers(0, 6, size=(10, 2))
+        ]
+        for _ in range(20):
+            for rect in rects:
+                index.plan(rect)
+        stats = index.plan_cache.stats
+        assert stats.hit_rate > 0.9

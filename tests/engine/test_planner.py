@@ -1,0 +1,96 @@
+"""Planner: run construction paths, policies, layout handling."""
+
+import pytest
+
+from repro.core.runs import merge_runs_with_gaps, query_runs, query_runs_vectorized
+from repro.curves import make_curve
+from repro.curves.base import SpaceFillingCurve
+from repro.engine import ExecutionPolicy, Planner
+from repro.errors import InvalidQueryError
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+
+class TestRunConstruction:
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+    def test_vectorized_runs_match_query_runs(self, name, rng):
+        curve = make_curve(name, 16, 2)
+        for _ in range(25):
+            lo = rng.integers(0, 16, size=2)
+            hi = [min(int(l) + int(e), 15) for l, e in zip(lo, rng.integers(0, 9, 2))]
+            rect = Rect(tuple(int(l) for l in lo), tuple(hi))
+            assert query_runs_vectorized(curve, rect) == query_runs(curve, rect)
+
+    def test_planner_small_rects_use_vector_path(self, rng):
+        curve = make_curve("hilbert", 32, 2)
+        fast = Planner(curve, vectorize_volume_max=4096)
+        slow = Planner(curve, vectorize_volume_max=0)
+        for _ in range(20):
+            lo = rng.integers(0, 24, size=2)
+            rect = Rect.from_origin(tuple(int(l) for l in lo), (8, 8))
+            assert fast.key_runs(rect) == slow.key_runs(rect)
+
+    def test_vector_path_requires_true_kernel(self):
+        class LoopCurve(SpaceFillingCurve):
+            def _index_impl(self, cell):
+                return cell[1] * self.side + cell[0]
+
+            def _point_impl(self, key):
+                return (key % self.side, key // self.side)
+
+        planner = Planner(LoopCurve(8, 2))
+        assert planner._has_vector_kernel is False
+        # still correct through the generic path
+        runs = planner.key_runs(Rect((1, 1), (3, 2)))
+        assert runs == query_runs(LoopCurve(8, 2), Rect((1, 1), (3, 2)))
+
+    def test_oversized_rect_rejected(self):
+        planner = Planner(make_curve("onion", 8, 2))
+        with pytest.raises(InvalidQueryError):
+            planner.plan(Rect((0, 0), (8, 8)))
+
+
+class TestPolicies:
+    def test_gap_merging_matches_core_helper(self):
+        curve = make_curve("hilbert", 16, 2)
+        planner = Planner(curve)
+        rect = Rect((1, 2), (13, 14))
+        for tolerance in (0, 1, 8, 64):
+            plan = planner.plan(rect, ExecutionPolicy(gap_tolerance=tolerance))
+            expected = merge_runs_with_gaps(list(plan.runs), tolerance)
+            assert list(plan.scan_runs) == expected
+
+    def test_zero_tolerance_scan_runs_are_exact_runs(self):
+        planner = Planner(make_curve("zorder", 8, 2))
+        plan = planner.plan(Rect((1, 1), (6, 6)))
+        assert plan.scan_runs == plan.runs
+
+    def test_policy_recorded_on_plan(self):
+        planner = Planner(make_curve("onion", 8, 2))
+        policy = ExecutionPolicy(gap_tolerance=5)
+        assert planner.plan(Rect((0, 0), (3, 3)), policy).policy == policy
+
+
+class TestPlanMany:
+    def test_plans_whole_workload(self, rng):
+        curve = make_curve("onion", 16, 2)
+        planner = Planner(curve)
+        rects = [
+            Rect.from_origin((int(x), int(y)), (4, 4))
+            for x, y in rng.integers(0, 12, size=(10, 2))
+        ]
+        plans = planner.plan_many(rects)
+        assert len(plans) == len(rects)
+        for rect, plan in zip(rects, plans):
+            assert plan.rect == rect
+
+    def test_layout_attaches_page_spans(self):
+        index = SFCIndex(make_curve("onion", 8, 2), page_capacity=2)
+        index.bulk_load([(x, y) for x in range(8) for y in range(8)])
+        index.flush()
+        plans = index.planner.plan_many(
+            [Rect((0, 0), (3, 3)), Rect((2, 2), (6, 6))], layout=index.page_layout
+        )
+        for plan in plans:
+            assert plan.page_spans is not None
+            assert len(plan.page_spans) == len(plan.scan_runs)

@@ -1,0 +1,31 @@
+"""The engine I/O experiment: fig5/fig7 workloads through execute_batch."""
+
+from repro.experiments import engine_io
+from repro.experiments.cli import main
+from repro.experiments.config import SCALES
+
+
+class TestEngineIo:
+    def test_batch_never_needs_more_seeks(self):
+        result = engine_io.run(SCALES["ci"], dim=2)
+        loop = result.column("loop seeks")
+        batch = result.column("batch seeks")
+        assert loop and len(loop) == len(batch)
+        assert all(b <= l for b, l in zip(batch, loop))
+        assert sum(batch) < sum(loop)  # strict in aggregate
+
+    def test_covers_fig5_and_fig7_workloads_for_both_curves(self):
+        result = engine_io.run(SCALES["ci"], dim=2)
+        workloads = " ".join(result.column("workload"))
+        assert "fig5" in workloads and "fig7" in workloads
+        assert set(result.column("curve")) == {"onion", "hilbert"}
+
+    def test_3d_variant_runs(self):
+        result = engine_io.run(SCALES["ci"], dim=3)
+        assert result.experiment == "engineb"
+        assert result.rows
+
+    def test_registered_in_cli(self, capsys):
+        assert main(["engine", "--dim", "2", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "enginea" in out and "batch seeks" in out

@@ -1,0 +1,97 @@
+"""Vectorized ``SFCIndex.bulk_load``: equivalence with insert-at-a-time."""
+
+import numpy as np
+import pytest
+
+from repro.curves import make_curve
+from repro.errors import OutOfUniverseError
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+
+def fresh_index(**kwargs):
+    return SFCIndex(make_curve("onion", 16, 2), page_capacity=4, **kwargs)
+
+
+class TestEquivalence:
+    def test_matches_insert_loop(self, rng):
+        points = [tuple(int(c) for c in p) for p in rng.integers(0, 16, size=(300, 2))]
+        bulk = fresh_index()
+        bulk.bulk_load(points, payloads=range(len(points)))
+        loop = fresh_index()
+        for i, point in enumerate(points):
+            loop.insert(point, payload=i)
+        assert len(bulk) == len(loop) == len(points)
+        rect = Rect((0, 0), (15, 15))
+        bulk_result = bulk.range_query(rect)
+        loop_result = loop.range_query(rect)
+        # identical records in identical on-disk order
+        assert bulk_result.records == loop_result.records
+        assert bulk.disk.num_pages == loop.disk.num_pages
+
+    def test_duplicate_cells_keep_arrival_order(self):
+        index = fresh_index()
+        index.bulk_load([(3, 3)] * 4 + [(3, 4)], payloads=["a", "b", "c", "d", "e"])
+        result = index.range_query(Rect((3, 3), (3, 3)))
+        assert [r.payload for r in result.records] == ["a", "b", "c", "d"]
+
+    def test_without_payloads(self):
+        index = fresh_index()
+        index.bulk_load([(0, 0), (1, 2), (0, 0)])
+        assert len(index) == 3
+        assert all(r.payload is None for r in index.point_query((0, 0)))
+
+    def test_accepts_numpy_rows(self, rng):
+        index = fresh_index()
+        index.bulk_load(rng.integers(0, 16, size=(50, 2)))
+        assert len(index) == 50
+
+    def test_short_payloads_rejected_not_truncated(self):
+        from repro.errors import InvalidQueryError
+
+        index = fresh_index()
+        with pytest.raises(InvalidQueryError):
+            index.bulk_load([(0, 0), (1, 1), (2, 2)], payloads=["x"])
+        assert len(index) == 0  # nothing partially loaded
+
+    def test_infinite_payload_iterator_supported(self):
+        import itertools
+
+        index = fresh_index()
+        index.bulk_load([(0, 0), (1, 1)], payloads=itertools.repeat("p"))
+        assert len(index) == 2
+        assert index.point_query((1, 1))[0].payload == "p"
+
+
+class TestValidationAndInvalidation:
+    def test_empty_load_is_noop(self):
+        index = fresh_index()
+        index.bulk_load([])
+        assert len(index) == 0
+        index.bulk_load([], payloads=[])
+        assert len(index) == 0
+
+    def test_out_of_universe_point_rejected(self):
+        index = fresh_index()
+        with pytest.raises(OutOfUniverseError):
+            index.bulk_load([(0, 0), (16, 3)])
+        with pytest.raises(OutOfUniverseError):
+            index.bulk_load([(0, 0, 0)])  # wrong dimensionality
+
+    def test_layout_invalidated_once_at_end(self):
+        index = fresh_index()
+        index.bulk_load([(0, 0), (1, 1)])
+        index.flush()
+        assert index.page_layout is not None
+        index.bulk_load([(2, 2), (3, 3)])
+        assert index.page_layout is None  # stale layout dropped
+        result = index.range_query(Rect((0, 0), (3, 3)))  # auto-reflush
+        assert len(result.records) == 4
+
+    def test_bulk_load_after_flush_requeries_fresh_data(self):
+        index = fresh_index(buffer_pages=8)
+        index.bulk_load([(1, 1)], payloads=["old"])
+        index.range_query(Rect((0, 0), (15, 15)))
+        index.bulk_load([(2, 2)], payloads=["new"])
+        result = index.range_query(Rect((0, 0), (15, 15)))
+        assert sorted(r.payload for r in result.records) == ["new", "old"]

@@ -46,6 +46,49 @@ class TestGapTolerance:
         assert result.over_read == 0
 
 
+class TestOverReadAccounting:
+    def test_over_read_equals_tolerated_gap_cells_on_full_grid(self):
+        """On a fully populated grid every tolerated gap key holds exactly
+        one record, so ``over_read`` must equal the plan's ``gap_cells``."""
+        index = _full_grid_index("hilbert", 16)
+        rect = Rect((2, 3), (12, 13))
+        for tolerance in (1, 4, 32, 128):
+            plan = index.plan(rect, gap_tolerance=tolerance)
+            result = index.range_query(rect, gap_tolerance=tolerance)
+            assert result.over_read == plan.gap_cells
+            assert len(result.records) == rect.volume
+
+    def test_over_read_counts_only_populated_gap_cells(self):
+        """With holes in the data, over-read is bounded by the gap cells
+        and counts exactly the stored records inside tolerated gaps."""
+        index = SFCIndex(make_curve("hilbert", 16, 2), page_capacity=4)
+        points = [(x, y) for x in range(16) for y in range(16) if (x + y) % 3]
+        index.bulk_load(points, payloads=points)
+        index.flush()
+        rect = Rect((1, 1), (13, 14))
+        for tolerance in (8, 64):
+            plan = index.plan(rect, gap_tolerance=tolerance)
+            result = index.range_query(rect, gap_tolerance=tolerance)
+            assert 0 < result.over_read <= plan.gap_cells
+            gap_keys = set()
+            for (s, e) in plan.scan_runs:
+                gap_keys.update(range(s, e + 1))
+            for (s, e) in plan.runs:
+                gap_keys.difference_update(range(s, e + 1))
+            populated = sum(
+                1 for key in gap_keys
+                if index.point_query(index.curve.point(key))
+            )
+            assert result.over_read == populated
+
+    def test_over_read_records_never_returned(self):
+        index = _full_grid_index("zorder", 16)
+        rect = Rect((4, 2), (11, 13))
+        result = index.range_query(rect, gap_tolerance=200)
+        assert result.over_read > 0
+        assert all(rect.contains(r.point) for r in result.records)
+
+
 class TestBufferPool:
     def test_pool_exposed(self):
         index = _full_grid_index("onion", 8, buffer_pages=16)
@@ -79,3 +122,32 @@ class TestBufferPool:
         result = index.range_query(rect)  # auto-reflush must invalidate
         expected = {(x, y) for x in range(1, 7) for y in range(1, 7)}
         assert {r.payload for r in result.records if r.payload != "new"} >= expected
+
+    def test_invalidate_drops_residency_but_keeps_stats(self):
+        index = _full_grid_index("onion", 8, buffer_pages=64)
+        rect = Rect((1, 1), (6, 6))
+        index.range_query(rect)
+        pool = index.buffer_pool
+        assert pool.resident > 0
+        misses_before = pool.stats.misses
+        pool.invalidate()
+        assert pool.resident == 0
+        assert pool.stats.misses == misses_before  # counters survive
+
+    def test_reflush_forces_cold_rereads(self):
+        """After a re-flush the pool must not serve stale pages: the same
+        query misses again and reads the new layout from disk."""
+        index = _full_grid_index("hilbert", 8, buffer_pages=64)
+        rect = Rect((2, 2), (5, 5))
+        first = index.range_query(rect)
+        assert first.pages_read > 0
+        warm = index.range_query(rect)
+        assert warm.pages_read == 0  # fully buffered
+        index.flush()  # relayout: pool invalidated even with same data
+        misses_before = index.buffer_pool.stats.misses
+        cold = index.range_query(rect)
+        assert cold.pages_read > 0
+        assert index.buffer_pool.stats.misses > misses_before
+        assert sorted(r.payload for r in cold.records) == sorted(
+            r.payload for r in first.records
+        )

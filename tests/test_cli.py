@@ -45,6 +45,33 @@ class TestClusterCommand:
         assert "1 cluster(s) under onion" in out
 
 
+class TestExplainCommand:
+    def test_explain_prints_plan_and_execution(self, capsys):
+        assert main(["explain", "--curve", "onion", "--side", "16",
+                     "--lo", "2,3", "--hi", "10,11", "--points", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "QueryPlan" in out
+        assert "estimated seeks" in out
+        assert "executed:" in out
+
+    def test_explain_with_gap_tolerance(self, capsys):
+        assert main(["explain", "--curve", "hilbert", "--side", "16",
+                     "--lo", "1,1", "--hi", "12,13", "--gap", "32",
+                     "--points", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "gap_tolerance=32" in out
+
+
+class TestBatchCommand:
+    def test_batch_reports_seek_comparison(self, capsys):
+        assert main(["batch", "--curve", "hilbert", "--side", "16",
+                     "--count", "40", "--points", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "query-at-a-time:" in out
+        assert "batched:" in out
+        assert "plan cache:" in out
+
+
 class TestRenderCommand:
     def test_render_keys(self, capsys):
         assert main(["render", "--curve", "onion", "--side", "4"]) == 0

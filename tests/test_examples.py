@@ -41,6 +41,13 @@ class TestExamples:
         assert "onion" in proc.stdout and "hilbert" in proc.stdout
         assert "peano" in proc.stdout
 
+    def test_plan_and_execute(self):
+        proc = run_example("plan_and_execute.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "estimated" in proc.stdout
+        assert "hit rate" in proc.stdout
+        assert "fewer seeks" in proc.stdout
+
     def test_approximate_scans(self):
         proc = run_example("approximate_scans.py")
         assert proc.returncode == 0, proc.stderr

@@ -11,6 +11,13 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.storage",
     "repro.index",
+    "repro.engine",
+    "repro.costmodel",
+    "repro.engine.cost",
+    "repro.engine.plan",
+    "repro.engine.planner",
+    "repro.engine.cache",
+    "repro.engine.executor",
     "repro.experiments",
     "repro.geometry",
     "repro.errors",
@@ -49,6 +56,18 @@ class TestTopLevelApi:
             curve_names,
             make_curve,
             query_runs,
+        )
+
+    def test_engine_names_available(self):
+        from repro import (  # noqa: F401
+            BatchResult,
+            CostModel,
+            ExecutionPolicy,
+            Executor,
+            PlanCache,
+            Planner,
+            QueryPlan,
+            RangeQueryResult,
         )
 
     def test_public_callables_have_docstrings(self):
