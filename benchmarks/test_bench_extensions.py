@@ -40,7 +40,7 @@ def test_bench_gap_ablation(benchmark, scale, reports):
     reports.append(result.render())
     at_zero = {
         curve: seeks
-        for tolerance, curve, seeks, _, _ in result.rows
+        for tolerance, curve, seeks, _, _, _ in result.rows
         if tolerance == 0
     }
     assert at_zero["onion"] < at_zero["hilbert"] < at_zero["zorder"]

@@ -54,6 +54,8 @@ from .core import (
     clustering_distribution,
     clustering_number,
     query_runs,
+    sweep_average_clustering,
+    sweep_clustering_grid,
 )
 from .engine import (
     BatchResult,
@@ -89,6 +91,8 @@ __all__ = [
     "clustering_distribution",
     "average_clustering",
     "query_runs",
+    "sweep_average_clustering",
+    "sweep_clustering_grid",
     "SFCIndex",
     "BatchResult",
     "CostModel",

@@ -9,6 +9,18 @@ edge (:func:`repro.core.edges.gamma_pair_many` — exact even for the jumps
 of discontinuous curves) and ``I`` counts the placements containing the
 curve's first/last cells.  This computes the paper's headline quantity
 *exactly*, with no sampling, in one O(n) vectorized pass over the curve.
+
+The translation-sweep kernel (:mod:`repro.core.sweep`) is the
+distributional face of the same identity.  Summing its per-placement
+grid gives ``Σ_o c(q_o, π) = |Q|·|q| − E_in``, where ``E_in`` counts
+(edge, placement) incidences with both endpoints inside the placement.
+Since each edge is *crossed* by exactly the placements containing one
+endpoint but not the other, ``γ(Q, E(π)) = 2|Q|·|q| − I(Q, π_s) −
+I(Q, π_e) − 2·E_in``, hence ``γ(Q, E(π)) + I(Q, π_s) + I(Q, π_e) =
+2·Σ_o c(q_o, π)`` — Lemma 1's numerator is twice the sweep grid's sum.
+``exact_average_clustering(…, method="sweep")`` therefore returns the
+same rational number as the closed form, and the tests assert the two
+agree.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import numpy as np
 from ..curves.base import SpaceFillingCurve
 from ..errors import InvalidQueryError
 from ..core.edges import gamma_pair_many, placements_containing
+from ..core.sweep import sweep_average_clustering
 from ..geometry import num_translations
 
 __all__ = ["exact_average_clustering", "total_edge_crossings"]
@@ -55,10 +68,16 @@ def exact_average_clustering(
     curve: SpaceFillingCurve,
     lengths: Sequence[int],
     batch_size: int = 1 << 20,
+    method: str = "edges",
 ) -> float:
     """Exact ``c(Q, π)`` for the translation set of a rect with ``lengths``.
 
     Valid for any curve, continuous or not.  Cost is O(n) key inversions.
+    ``method="edges"`` evaluates Lemma 1's closed form directly;
+    ``method="sweep"`` averages the translation-sweep grid instead —
+    same exact value (see the module docstring), but it reuses the
+    per-curve stencil cache, so repeated window sizes on one curve pay
+    the key grid once.
     """
     lengths = tuple(int(l) for l in lengths)
     if len(lengths) != curve.dim:
@@ -68,6 +87,10 @@ def exact_average_clustering(
     size = num_translations(curve.side, lengths)
     if size == 0:
         raise InvalidQueryError(f"lengths {lengths} do not fit side {curve.side}")
+    if method == "sweep":
+        return sweep_average_clustering(curve, lengths)
+    if method != "edges":
+        raise InvalidQueryError(f"unknown exact-average method {method!r}")
     gamma = total_edge_crossings(curve, lengths, batch_size=batch_size)
     i_start = placements_containing(curve.side, lengths, curve.first_cell)
     i_end = placements_containing(curve.side, lengths, curve.last_cell)

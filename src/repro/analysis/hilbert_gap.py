@@ -42,11 +42,15 @@ def scaling_experiment(
     sides: Sequence[int],
     dim: int,
     margin: int,
+    method: str = "edges",
 ) -> List[ScalingRow]:
     """Exact ``c(Q)`` for onion vs Hilbert at cube side ``side − margin``.
 
     ``margin = L − 1`` is held constant across the sweep, matching the
-    Lemma 5 setup (``ℓ = n^(1/d) − O(1)``).
+    Lemma 5 setup (``ℓ = n^(1/d) − O(1)``).  ``method`` picks the exact
+    engine (:func:`~repro.analysis.exact.exact_average_clustering`):
+    ``"sweep"`` computes each average from the key grid via the
+    translation-sweep kernel instead of walking ``point_many``.
     """
     rows: List[ScalingRow] = []
     for side in sides:
@@ -54,8 +58,12 @@ def scaling_experiment(
         if length < 1:
             raise ValueError(f"margin {margin} leaves no query at side {side}")
         lengths = [length] * dim
-        onion = exact_average_clustering(make_curve("onion", side, dim), lengths)
-        hilbert = exact_average_clustering(make_curve("hilbert", side, dim), lengths)
+        onion = exact_average_clustering(
+            make_curve("onion", side, dim), lengths, method=method
+        )
+        hilbert = exact_average_clustering(
+            make_curve("hilbert", side, dim), lengths, method=method
+        )
         rows.append(ScalingRow(side=side, length=length, onion=onion, hilbert=hilbert))
     return rows
 

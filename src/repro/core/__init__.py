@@ -24,10 +24,18 @@ from .queries import (
     random_corner_rects,
     random_cubes,
     random_rects,
+    ratio_shapes,
     rows_query_set,
     translation_query_set,
 )
 from .runs import query_runs, query_runs_vectorized
+from .sweep import (
+    DisplacementStencil,
+    clear_stencil_cache,
+    get_stencil,
+    sweep_average_clustering,
+    sweep_clustering_grid,
+)
 
 __all__ = [
     "average_clustering",
@@ -50,8 +58,14 @@ __all__ = [
     "random_corner_rects",
     "random_cubes",
     "random_rects",
+    "ratio_shapes",
     "rows_query_set",
     "translation_query_set",
     "query_runs",
     "query_runs_vectorized",
+    "DisplacementStencil",
+    "clear_stencil_cache",
+    "get_stencil",
+    "sweep_average_clustering",
+    "sweep_clustering_grid",
 ]

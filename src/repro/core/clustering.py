@@ -107,9 +107,11 @@ def start_candidate_cells(curve: SpaceFillingCurve, rect: Rect) -> np.ndarray:
     if rect.contains(first):
         pieces.append(np.asarray([first], dtype=np.int64))
     if not curve.is_continuous:
-        jumps = [c for c in curve.discontinuities() if rect.contains(c)]
-        if jumps:
-            pieces.append(np.asarray(jumps, dtype=np.int64))
+        jumps = curve.jump_cells()
+        if jumps.shape[0]:
+            inside = _contains_many(rect, jumps)
+            if inside.any():
+                pieces.append(jumps[inside])
     if len(pieces) == 1:
         return pieces[0]
     return np.unique(np.concatenate(pieces, axis=0), axis=0)

@@ -16,7 +16,7 @@ explicit ``numpy`` random generator so experiments are reproducible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..geometry import Rect, all_translations, num_translations
 __all__ = [
     "random_cubes",
     "random_rects",
+    "ratio_shapes",
     "fixed_ratio_rects",
     "random_corner_rects",
     "rows_query_set",
@@ -71,6 +72,33 @@ def random_cubes(
     return random_rects(side, [length] * dim, count, rng)
 
 
+def ratio_shapes(
+    side: int,
+    dim: int,
+    ratio: float,
+    step: int = 50,
+) -> List[Tuple[int, ...]]:
+    """Algorithm 1's retained rect *shapes* for one side ratio ``ρ``.
+
+    ``ℓ_long`` sweeps from ``side`` down in decrements of ``step``; the
+    first dimension gets ``ℓ₁ = ⌊ℓ_long / ρ⌋`` and all remaining
+    dimensions ``ℓ_long``.  Shapes whose ``ℓ₁`` does not fit the
+    universe are skipped.  Shared by the sampled
+    :func:`fixed_ratio_rects` and the exact translation-sweep mode of
+    the Fig 6 experiment, so both always evaluate the same shape set.
+    """
+    if ratio <= 0:
+        raise InvalidQueryError(f"ratio must be positive, got {ratio}")
+    shapes: List[Tuple[int, ...]] = []
+    long_side = side
+    while long_side > 0:
+        l1 = int(long_side // ratio)
+        if 1 <= l1 <= side:
+            shapes.append((l1,) + (long_side,) * (dim - 1))
+        long_side -= step
+    return shapes
+
+
 def fixed_ratio_rects(
     side: int,
     dim: int,
@@ -81,24 +109,15 @@ def fixed_ratio_rects(
 ) -> List[Rect]:
     """Algorithm 1 of the paper: rectangles with fixed side ratio ``ρ``.
 
-    ``ℓ_long`` sweeps from ``side`` down in decrements of ``step``; the
-    first dimension gets ``ℓ₁ = ⌊ℓ_long / ρ⌋`` and all remaining dimensions
-    ``ℓ_long`` (for ``d = 2`` this is exactly the paper's Algorithm 1; for
-    ``d = 3`` it is the natural extension the paper alludes to).  Shapes
-    whose ``ℓ₁`` does not fit the universe are skipped; each retained shape
-    is sampled at ``per_length`` uniform positions.
+    The retained shapes come from :func:`ratio_shapes` (for ``d = 2``
+    exactly the paper's Algorithm 1; for ``d = 3`` the natural extension
+    the paper alludes to); each is sampled at ``per_length`` uniform
+    positions.
     """
-    if ratio <= 0:
-        raise InvalidQueryError(f"ratio must be positive, got {ratio}")
     rng = _rng(rng)
     queries: List[Rect] = []
-    long_side = side
-    while long_side > 0:
-        l1 = int(long_side // ratio)
-        if 1 <= l1 <= side:
-            lengths = [l1] + [long_side] * (dim - 1)
-            queries.extend(random_rects(side, lengths, per_length, rng))
-        long_side -= step
+    for lengths in ratio_shapes(side, dim, ratio, step=step):
+        queries.extend(random_rects(side, list(lengths), per_length, rng))
     return queries
 
 

@@ -81,12 +81,9 @@ def _candidate_cells(curve: SpaceFillingCurve, rect: Rect) -> np.ndarray:
     if endpoints:
         pieces.append(np.asarray(endpoints, dtype=np.int64))
     if not curve.is_continuous:
-        jump_cells = list(curve.discontinuities())
-        if jump_cells:
-            jumps = np.asarray(jump_cells, dtype=np.int64)
-            keys = curve.index_many(jumps)
-            before = curve.point_many(np.maximum(keys - 1, 0))
-            both = np.concatenate([jumps, before], axis=0)
+        jumps = curve.jump_cells()
+        if jumps.shape[0]:
+            both = np.concatenate([jumps, curve.jump_predecessor_cells()], axis=0)
             inside = _contains_many(rect, both)
             if inside.any():
                 pieces.append(both[inside])

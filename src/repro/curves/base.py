@@ -77,15 +77,24 @@ class SpaceFillingCurve(abc.ABC):
     def __repr__(self) -> str:
         return f"{type(self).__name__}(side={self._side}, dim={self._dim})"
 
+    def _identity(self) -> Tuple:
+        """The state that determines the cell↔key bijection.
+
+        Equality, hashing — and therefore every cache keyed by a curve
+        (plan cache, displacement-stencil cache) — derive from this.
+        Subclasses with extra configuration that changes the mapping
+        (e.g. the 3-d onion's ``face_order``) MUST extend the tuple.
+        """
+        return (type(self), self._side, self._dim)
+
     def __eq__(self, other: object) -> bool:
         return (
-            type(self) is type(other)
-            and self._side == other._side  # type: ignore[attr-defined]
-            and self._dim == other._dim  # type: ignore[attr-defined]
+            isinstance(other, SpaceFillingCurve)
+            and self._identity() == other._identity()
         )
 
     def __hash__(self) -> int:
-        return hash((type(self), self._side, self._dim))
+        return hash(self._identity())
 
     # ------------------------------------------------------------------
     # Core bijection
@@ -154,13 +163,53 @@ class SpaceFillingCurve(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def first_cell(self) -> Cell:
-        """The cell with key 0 (``π_s`` in the paper)."""
-        return self.point(0)
+        """The cell with key 0 (``π_s`` in the paper), cached per instance."""
+        cached = self.__dict__.get("_first_cell")
+        if cached is None:
+            cached = self.__dict__["_first_cell"] = self.point(0)
+        return cached
 
     @property
     def last_cell(self) -> Cell:
-        """The cell with key ``n − 1`` (``π_e`` in the paper)."""
-        return self.point(self.size - 1)
+        """The cell with key ``n − 1`` (``π_e``), cached per instance."""
+        cached = self.__dict__.get("_last_cell")
+        if cached is None:
+            cached = self.__dict__["_last_cell"] = self.point(self.size - 1)
+        return cached
+
+    def jump_cells(self) -> np.ndarray:
+        """The curve's discontinuity cells as a cached ``(k, dim)`` array.
+
+        Materializes :meth:`discontinuities` exactly once per instance;
+        the boundary-shell clustering and run construction consult this
+        on every query, so rebuilding the list per query (an O(n) walk
+        for curves without sparse jump sets) would dominate their cost.
+        """
+        cached = self.__dict__.get("_jump_cells")
+        if cached is None:
+            cells = list(self.discontinuities())
+            cached = np.asarray(cells, dtype=np.int64).reshape(len(cells), self._dim)
+            self.__dict__["_jump_cells"] = cached
+        return cached
+
+    def jump_predecessor_cells(self) -> np.ndarray:
+        """Cells immediately before each jump cell in key order, cached.
+
+        Run *ends* can hide at the key just before a jump; run
+        construction needs both arrays, so they are cached together.
+        Row ``i`` is the predecessor of ``jump_cells()[i]`` (jump cells
+        always have key ``>= 1``).
+        """
+        cached = self.__dict__.get("_jump_predecessors")
+        if cached is None:
+            jumps = self.jump_cells()
+            if jumps.shape[0]:
+                keys = self.index_many(jumps)
+                cached = self.point_many(np.maximum(keys - 1, 0))
+            else:
+                cached = jumps
+            self.__dict__["_jump_predecessors"] = cached
+        return cached
 
     def walk(self) -> Iterator[Cell]:
         """Yield every cell in key order (key 0 first)."""

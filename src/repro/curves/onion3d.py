@@ -82,6 +82,11 @@ class OnionCurve3D(SpaceFillingCurve):
     def name(self) -> str:
         return "onion"
 
+    def _identity(self):
+        # face_order changes the bijection; caches must not conflate
+        # differently-ordered instances.
+        return super()._identity() + (self._order,)
+
     @property
     def face_order(self) -> Tuple[int, ...]:
         """The configured within-layer piece permutation."""

@@ -11,7 +11,10 @@ executor:
   runs, page spans, ``estimated_seeks``/``estimated_cost()``) plus the
   :class:`ExecutionPolicy` (gap tolerance) and :class:`PageLayout`;
 * :mod:`~repro.engine.planner` — the :class:`Planner`, pure computation
-  with a vectorized run-construction fast path;
+  with a curve-aware vectorized run-construction fast path and
+  precomputed per-window-size expected-seeks tables
+  (:meth:`~Planner.expected_seeks`, backed by the translation-sweep
+  kernel) for cost estimation without planning;
 * :mod:`~repro.engine.cache` — an LRU :class:`PlanCache` keyed by
   ``(curve, rect, policy)`` so repeated workloads stop re-planning;
 * :mod:`~repro.engine.executor` — the :class:`Executor` running plans

@@ -41,6 +41,9 @@ _DIMMED: Dict[str, Callable] = {
     "fig7": fig7.run,
     "lemma5": lemma5.run,
 }
+#: Experiments accepting ``exact=True`` (full translation sweep, no sampling).
+_EXACT_CAPABLE = frozenset({"fig5", "fig6"})
+
 _SIMPLE: Dict[str, Callable] = {
     "fig1": fig1.run,
     "fig2": fig2.run,
@@ -78,6 +81,12 @@ def main(argv: List[str] = None) -> int:
         default=0,
         help="dimension for fig5/fig6/fig7/lemma5 (default: both)",
     )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="evaluate every placement via the translation sweep "
+        "instead of sampling (fig5/fig6)",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
@@ -89,8 +98,9 @@ def main(argv: List[str] = None) -> int:
     for name in names:
         if name in _DIMMED:
             dims = [args.dim] if args.dim else [2, 3]
+            kwargs = {"exact": True} if args.exact and name in _EXACT_CAPABLE else {}
             for dim in dims:
-                print(_DIMMED[name](scale, dim=dim).render())
+                print(_DIMMED[name](scale, dim=dim, **kwargs).render())
                 print()
         else:
             print(_SIMPLE[name](scale).render())

@@ -1,12 +1,12 @@
 """Exact (sampling-free) version of the Fig 5 box plots.
 
 Section VII estimates clustering distributions from 500–1000 random
-placements.  The difference-array algorithm of
-:mod:`repro.analysis.distribution` computes the clustering number of
-*every* placement in O(n), so this experiment reports the exact
-five-number summaries the paper's box plots approximate — both a
-stronger reproduction and a validation that the sampled Fig 5 numbers
-sit inside the exact envelopes.
+placements.  :mod:`repro.analysis.distribution` computes the clustering
+number of *every* placement in O(n) — since PR 2 through the
+displacement-stencil sweep kernel of :mod:`repro.core.sweep` — so this
+experiment reports the exact five-number summaries the paper's box
+plots approximate — both a stronger reproduction and a validation that
+the sampled Fig 5 numbers sit inside the exact envelopes.
 """
 
 from __future__ import annotations

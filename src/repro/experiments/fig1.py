@@ -2,18 +2,26 @@
 
 The paper's opening figure shows a query region in a small grid for which
 the Hilbert curve produces 2 clusters and the Z curve 4.  This experiment
-regenerates that comparison: it scans every rect in an 8×8 universe,
+regenerates that comparison: it evaluates every rect in an 8×8 universe,
 reports a canonical witness with exactly (hilbert=2, z=4), and tabulates
 how often each curve wins over all rect queries in the grid.
+
+Enumeration runs through the translation-sweep kernel
+(:func:`repro.core.sweep.sweep_clustering_grid`): one stencil pass per
+window *shape* yields the exact cluster count of every placement, so the
+O(side⁴) per-rect loop of earlier revisions collapses to O(side²)
+sweeps consulted in O(1) per rect.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from ..curves import make_curve
-from ..core.clustering import clustering_number
+from ..core.sweep import sweep_clustering_grid
 from ..geometry import Rect
 from .report import ExperimentResult
 
@@ -21,19 +29,39 @@ __all__ = ["run", "find_witness"]
 
 _SIDE = 8
 
+GridPair = Tuple[np.ndarray, np.ndarray]
 
-def find_witness(hilbert_clusters: int = 2, z_clusters: int = 4) -> Optional[Rect]:
-    """First rect (in scan order) with the figure's exact cluster counts."""
+
+def _shape_grids() -> Dict[Tuple[int, int], GridPair]:
+    """(hilbert, zorder) per-placement cluster grids for every window shape."""
     hilbert = make_curve("hilbert", _SIDE, 2)
     zorder = make_curve("zorder", _SIDE, 2)
+    grids: Dict[Tuple[int, int], GridPair] = {}
+    for lengths in itertools.product(range(1, _SIDE + 1), repeat=2):
+        grids[lengths] = (
+            sweep_clustering_grid(hilbert, lengths),
+            sweep_clustering_grid(zorder, lengths),
+        )
+    return grids
+
+
+def find_witness(
+    hilbert_clusters: int = 2,
+    z_clusters: int = 4,
+    grids: Optional[Dict[Tuple[int, int], GridPair]] = None,
+) -> Optional[Rect]:
+    """First rect (in scan order) with the figure's exact cluster counts."""
+    if grids is None:
+        grids = _shape_grids()
     for x0, y0 in itertools.product(range(_SIDE), repeat=2):
         for x1, y1 in itertools.product(range(x0, _SIDE), range(y0, _SIDE)):
             rect = Rect((x0, y0), (x1, y1))
             if rect.volume < 4:
                 continue
+            h_grid, z_grid = grids[rect.lengths]
             if (
-                clustering_number(hilbert, rect) == hilbert_clusters
-                and clustering_number(zorder, rect) == z_clusters
+                int(h_grid[rect.lo]) == hilbert_clusters
+                and int(z_grid[rect.lo]) == z_clusters
             ):
                 return rect
     return None
@@ -42,30 +70,23 @@ def find_witness(hilbert_clusters: int = 2, z_clusters: int = 4) -> Optional[Rec
 def run(scale=None) -> ExperimentResult:
     """Regenerate Figure 1 (scale-independent; ``scale`` accepted for API
     uniformity)."""
-    hilbert = make_curve("hilbert", _SIDE, 2)
-    zorder = make_curve("zorder", _SIDE, 2)
-    witness = find_witness()
+    grids = _shape_grids()
+    witness = find_witness(grids=grids)
     rows = []
     if witness is not None:
+        h_grid, z_grid = grids[witness.lengths]
         rows.append(
             (
                 f"{witness.lo}-{witness.hi}",
-                clustering_number(hilbert, witness),
-                clustering_number(zorder, witness),
+                int(h_grid[witness.lo]),
+                int(z_grid[witness.lo]),
             )
         )
     h_better = tie = z_better = 0
-    for x0, y0 in itertools.product(range(_SIDE), repeat=2):
-        for x1, y1 in itertools.product(range(x0, _SIDE), range(y0, _SIDE)):
-            rect = Rect((x0, y0), (x1, y1))
-            h = clustering_number(hilbert, rect)
-            z = clustering_number(zorder, rect)
-            if h < z:
-                h_better += 1
-            elif h == z:
-                tie += 1
-            else:
-                z_better += 1
+    for h_grid, z_grid in grids.values():
+        h_better += int(np.count_nonzero(h_grid < z_grid))
+        tie += int(np.count_nonzero(h_grid == z_grid))
+        z_better += int(np.count_nonzero(h_grid > z_grid))
     rows.append(("all-rects h<z / h=z / h>z", h_better, f"{tie} / {z_better}"))
     return ExperimentResult(
         experiment="fig1",
@@ -75,5 +96,6 @@ def run(scale=None) -> ExperimentResult:
         notes=[
             "paper shows a query with hilbert=2, zorder=4; the witness row "
             "reproduces one such query",
+            "all rects enumerated exactly via the translation-sweep kernel",
         ],
     )

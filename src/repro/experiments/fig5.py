@@ -5,6 +5,15 @@ Fig 5a (2-d): squares of side ``√n − 50k`` (odd ``k`` up to 19) at
 listed sides at ``∛n = 2⁹``, 500 placements.  Box-plot statistics of the
 clustering numbers of the onion and Hilbert curves are reported per side.
 
+``exact=True`` drops the Monte-Carlo sampling entirely: the
+translation-sweep kernel (:mod:`repro.core.sweep`) computes the cluster
+count of **every** placement of each cube in one vectorized pass, so the
+box statistics are the exact population values the paper's samples
+estimate.  The sweep materializes O(n) arrays, so exact mode is sized
+for the ``ci``/``small`` scales (the 3-d ``paper`` universe has 512³
+cells; use :mod:`repro.experiments.distributions`, which caps the side,
+for a paper-scale exact report).
+
 Expected shape (paper Section VII-A): the onion curve is never worse,
 and is dramatically better once the cube side exceeds half the axis
 (over 200× at the largest 3-d sides).
@@ -17,6 +26,7 @@ import numpy as np
 from ..curves import make_curve
 from ..core.clustering import clustering_distribution
 from ..core.queries import random_cubes
+from ..core.sweep import sweep_clustering_grid
 from .config import Scale, fig5_lengths, get_scale
 from .report import ExperimentResult
 from .stats import BoxStats
@@ -24,8 +34,12 @@ from .stats import BoxStats
 __all__ = ["run"]
 
 
-def run(scale: Scale = None, dim: int = 2) -> ExperimentResult:
-    """Regenerate Fig 5a (``dim=2``) or Fig 5b (``dim=3``)."""
+def run(scale: Scale = None, dim: int = 2, exact: bool = False) -> ExperimentResult:
+    """Regenerate Fig 5a (``dim=2``) or Fig 5b (``dim=3``).
+
+    With ``exact=True`` every translation of each cube is evaluated (no
+    sampling, no RNG); otherwise the paper's random placements are used.
+    """
     scale = scale or get_scale()
     side = scale.side_2d if dim == 2 else scale.side_3d
     count = scale.queries_2d if dim == 2 else scale.queries_3d
@@ -34,20 +48,34 @@ def run(scale: Scale = None, dim: int = 2) -> ExperimentResult:
     hilbert = make_curve("hilbert", side, dim)
     rows = []
     for length in fig5_lengths(scale, dim):
-        queries = random_cubes(side, dim, length, count, rng)
-        o = BoxStats.from_counts(clustering_distribution(onion, queries))
-        h = BoxStats.from_counts(clustering_distribution(hilbert, queries))
+        if exact:
+            lengths = (length,) * dim
+            o_counts = sweep_clustering_grid(onion, lengths).ravel()
+            h_counts = sweep_clustering_grid(hilbert, lengths).ravel()
+        else:
+            queries = random_cubes(side, dim, length, count, rng)
+            o_counts = clustering_distribution(onion, queries)
+            h_counts = clustering_distribution(hilbert, queries)
+        o = BoxStats.from_counts(o_counts)
+        h = BoxStats.from_counts(h_counts)
         gap = h.median / o.median if o.median else float("inf")
         rows.append((length, str(o), str(h), round(gap, 2)))
     return ExperimentResult(
-        experiment=f"fig5{'a' if dim == 2 else 'b'}",
+        experiment=f"fig5{'a' if dim == 2 else 'b'}" + ("-exact" if exact else ""),
         title=(
             f"clustering of random {'squares' if dim == 2 else 'cubes'} "
-            f"(side {side}, {count} queries per length, scale={scale.name})"
+            f"(side {side}, "
+            + ("ALL placements per length" if exact else f"{count} queries per length")
+            + f", scale={scale.name})"
         ),
         headers=["length", "onion", "hilbert", "median gap (h/o)"],
         rows=rows,
         notes=[
             "gap >> 1 expected for lengths above side/2; ~1 for small lengths",
-        ],
+        ]
+        + (
+            ["exact mode: every translation swept, no sampling"]
+            if exact
+            else []
+        ),
     )

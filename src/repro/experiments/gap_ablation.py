@@ -10,6 +10,12 @@ Expected shape: seeks fall monotonically with the tolerance for every
 curve; the onion curve starts so low on near-cube queries that it needs
 almost no tolerance, while the Hilbert and Z curves buy their seek
 reductions with substantial over-read.
+
+The ``exact E[seeks]`` column is the planner's precomputed
+expected-seeks table for the query window size — the exact mean
+clustering number over *all* placements from the translation-sweep key
+grid (:meth:`repro.engine.planner.Planner.expected_seeks`), scaled to
+the workload size.  At tolerance 0 the measured seeks track it.
 """
 
 from __future__ import annotations
@@ -44,6 +50,12 @@ def run(scale: Scale = None) -> ExperimentResult:
         index.flush()
         indexes[name] = index
 
+    # One sweep per curve prices the whole workload before any I/O.
+    expected = {
+        name: index.planner.expected_seeks((length, length)) * len(queries)
+        for name, index in indexes.items()
+    }
+
     rows = []
     for tolerance in GAP_TOLERANCES:
         for name, index in indexes.items():
@@ -55,14 +67,16 @@ def run(scale: Scale = None) -> ExperimentResult:
                 seeks += result.seeks
                 over_read += result.over_read
                 returned += len(result.records)
-            rows.append((tolerance, name, seeks, over_read, returned))
+            rows.append(
+                (tolerance, name, seeks, round(expected[name], 1), over_read, returned)
+            )
     return ExperimentResult(
         experiment="gap-ablation",
         title=(
             f"gap-tolerant scanning, {length}x{length} queries on a "
             f"{side}x{side} fully-populated grid (scale={scale.name})"
         ),
-        headers=["gap tolerance", "curve", "seeks", "over-read", "returned"],
+        headers=["gap tolerance", "curve", "seeks", "exact E[seeks]", "over-read", "returned"],
         rows=rows,
         notes=[
             "returned counts are identical across curves and tolerances "

@@ -58,6 +58,29 @@ class TestExactness:
         b = exact_cluster_distribution(curve, (5, 7))
         assert (a == b).all()
 
+    @pytest.mark.parametrize("name", ["onion", "hilbert", "zorder", "gray", "snake"])
+    def test_sweep_and_edges_engines_agree(self, name):
+        """The displacement-stencil sweep and the per-edge difference
+        array are independent implementations of the same grid."""
+        curve = make_curve(name, 16, 2)
+        for lengths in [(2, 2), (5, 9), (16, 3), (15, 15)]:
+            sweep = exact_cluster_distribution(curve, lengths, method="sweep")
+            edges = exact_cluster_distribution(curve, lengths, method="edges")
+            assert (sweep == edges).all(), (name, lengths)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            exact_cluster_distribution(make_curve("onion", 8, 2), (2, 2), method="guess")
+
+    def test_sweep_average_matches_lemma1_closed_form(self):
+        """exact_average_clustering(method="sweep") == the γ identity."""
+        for name in ("hilbert", "zorder"):
+            curve = make_curve(name, 16, 2)
+            for lengths in [(3, 3), (9, 5), (16, 1)]:
+                assert exact_average_clustering(
+                    curve, lengths, method="sweep"
+                ) == pytest.approx(exact_average_clustering(curve, lengths))
+
 
 class TestShapeAndGuards:
     def test_output_shape(self):

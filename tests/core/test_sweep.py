@@ -1,0 +1,194 @@
+"""Translation-sweep kernel: exactness against brute force, everywhere.
+
+The acceptance property of :mod:`repro.core.sweep`: the per-placement
+grid equals :func:`repro.core.clustering.clustering_number` evaluated on
+**every** placement — for all registered curves (continuous, sparse-jump,
+prefix-contiguous, row-major with its wrap jumps), dims 2 and 3, even and
+odd sides.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import clustering_number
+from repro.core.sweep import (
+    DisplacementStencil,
+    clear_stencil_cache,
+    get_stencil,
+    sweep_average_clustering,
+    sweep_clustering_grid,
+)
+from repro.curves import curve_names, make_curve
+from repro.errors import InvalidQueryError, ReproError
+from repro.geometry import all_translations
+
+
+def brute_grid(curve, lengths):
+    extents = tuple(curve.side - l + 1 for l in lengths)
+    out = np.zeros(extents, dtype=np.int64)
+    for q in all_translations(curve.side, lengths):
+        out[q.lo] = clustering_number(curve, q)
+    return out
+
+
+def _registered_cases():
+    """Every registered curve at even and odd sides, dims 2 and 3.
+
+    Curves constrain their sides (powers of two, powers of three, even
+    sides); invalid (name, side, dim) combos are skipped at build time,
+    so every curve is exercised at whichever of the sides it supports.
+    """
+    cases = []
+    for name in curve_names():
+        for dim in (2, 3):
+            for side in (4, 5, 8, 9):
+                try:
+                    curve = make_curve(name, side, dim)
+                except ReproError:
+                    continue
+                if curve.size > 1000:
+                    continue  # keep the brute-force side manageable
+                cases.append(pytest.param(curve, id=f"{name}-{side}-{dim}d"))
+    return cases
+
+
+def _window_shapes(curve):
+    side, dim = curve.side, curve.dim
+    shapes = {
+        (1,) * dim,
+        (side,) * dim,
+        (2,) * dim,
+        tuple(min(side, 2 + a) for a in range(dim)),
+        (side,) + (1,) * (dim - 1),
+        (max(1, side - 1),) * dim,
+    }
+    return sorted(shapes)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("curve", _registered_cases())
+    def test_matches_brute_force_everywhere(self, curve):
+        for lengths in _window_shapes(curve):
+            got = sweep_clustering_grid(curve, lengths)
+            want = brute_grid(curve, lengths)
+            assert got.shape == want.shape
+            assert (got == want).all(), (curve, lengths)
+
+    @given(
+        name=st.sampled_from(["onion", "hilbert", "zorder", "gray", "snake"]),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_windows_2d(self, name, data):
+        curve = make_curve(name, 8, 2)
+        lengths = tuple(
+            data.draw(st.integers(1, 8), label=f"l{a}") for a in range(2)
+        )
+        got = sweep_clustering_grid(curve, lengths)
+        assert (got == brute_grid(curve, lengths)).all()
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_windows_3d_sparse_jumps(self, data):
+        """The 3-d onion exercises the per-cell jump fallback."""
+        curve = make_curve("onion", 6, 3)
+        lengths = tuple(
+            data.draw(st.integers(1, 6), label=f"l{a}") for a in range(3)
+        )
+        got = sweep_clustering_grid(curve, lengths)
+        assert (got == brute_grid(curve, lengths)).all()
+
+    def test_odd_side_continuous_curve(self):
+        curve = make_curve("onion", 7, 2)
+        for lengths in [(3, 5), (7, 2), (6, 6)]:
+            assert (
+                sweep_clustering_grid(curve, lengths) == brute_grid(curve, lengths)
+            ).all()
+
+    def test_average_equals_grid_mean(self):
+        curve = make_curve("hilbert", 16, 2)
+        grid = sweep_clustering_grid(curve, (5, 9))
+        assert sweep_average_clustering(curve, (5, 9)) == pytest.approx(
+            grid.mean()
+        )
+
+    def test_stencil_reused_across_window_sizes(self):
+        clear_stencil_cache()
+        curve = make_curve("onion", 8, 2)
+        stencil = get_stencil(curve)
+        for window in [(2, 2), (3, 5), (8, 8)]:
+            sweep_average_clustering(curve, window)
+        assert get_stencil(curve) is stencil  # one build served all sweeps
+
+
+class TestStencil:
+    def test_continuous_curve_has_unit_displacements_only(self):
+        stencil = get_stencil(make_curve("hilbert", 8, 2))
+        assert stencil.unit_step_fraction == 1.0
+        for d, _ in stencil.groups:
+            assert sum(abs(c) for c in d) == 1
+        assert stencil.num_displacements <= 4
+
+    def test_zorder_has_logarithmically_many_displacements(self):
+        stencil = get_stencil(make_curve("zorder", 16, 2))
+        assert 2 < stencil.num_displacements <= 2 * 2 * 4  # O(dim·log side)
+        assert stencil.unit_step_fraction < 1.0
+
+    def test_groups_cover_every_positive_key_cell_once(self):
+        curve = make_curve("gray", 8, 2)
+        stencil = get_stencil(curve)
+        flats = np.concatenate([flat for _, flat in stencil.groups])
+        assert flats.size == curve.size - 1  # every cell except key 0
+        assert np.unique(flats).size == flats.size
+
+    def test_cache_returns_same_object(self):
+        clear_stencil_cache()
+        curve = make_curve("onion", 8, 2)
+        assert get_stencil(curve) is get_stencil(curve)
+        # equal curves share the cache entry
+        assert get_stencil(make_curve("onion", 8, 2)) is get_stencil(curve)
+
+    def test_cache_distinguishes_face_orders(self):
+        """Curves whose extra config changes the bijection must not share
+        a stencil (regression: curve equality once ignored face_order)."""
+        from repro.curves.onion3d import OnionCurve3D
+
+        clear_stencil_cache()
+        default = OnionCurve3D(6)
+        swapped = OnionCurve3D(6, face_order=(1, 2, 3, 4, 5, 6, 7, 8, 10, 9))
+        assert default != swapped
+        sweep_clustering_grid(default, (2, 2, 2))  # prime the cache
+        got = sweep_clustering_grid(swapped, (2, 2, 2))
+        assert (got == brute_grid(swapped, (2, 2, 2))).all()
+
+    def test_cache_eviction(self):
+        clear_stencil_cache()
+        first = make_curve("onion", 4, 2)
+        stencil = get_stencil(first)
+        for side in (8, 16, 5, 6, 7):
+            get_stencil(make_curve("onion", side, 2))
+        assert get_stencil(first) is not stencil  # evicted and rebuilt
+
+    def test_single_cell_universe(self):
+        curve = make_curve("rowmajor", 1, 2)
+        stencil = get_stencil(curve)
+        assert isinstance(stencil, DisplacementStencil)
+        assert stencil.groups == ()
+        grid = sweep_clustering_grid(curve, (1, 1))
+        assert grid.shape == (1, 1) and grid[0, 0] == 1
+
+
+class TestGuards:
+    def test_dim_mismatch(self):
+        with pytest.raises(InvalidQueryError):
+            sweep_clustering_grid(make_curve("onion", 8, 2), (2, 2, 2))
+
+    def test_oversized_window(self):
+        with pytest.raises(InvalidQueryError):
+            sweep_clustering_grid(make_curve("onion", 8, 2), (9, 1))
+
+    def test_zero_length_window(self):
+        with pytest.raises(InvalidQueryError):
+            sweep_clustering_grid(make_curve("onion", 8, 2), (0, 4))

@@ -87,6 +87,31 @@ class TestTraversal:
             assert step != 1
 
 
+class TestPerInstanceCaches:
+    def test_endpoint_cells_cached(self, small_curve):
+        assert small_curve.first_cell == small_curve.point(0)
+        assert small_curve.last_cell == small_curve.point(small_curve.size - 1)
+        assert small_curve.__dict__["_first_cell"] == small_curve.first_cell
+        assert small_curve.__dict__["_last_cell"] == small_curve.last_cell
+
+    def test_jump_cells_cached_and_match_discontinuities(self, small_curve):
+        jumps = small_curve.jump_cells()
+        assert jumps is small_curve.jump_cells()  # materialized once
+        assert jumps.shape == (len(list(small_curve.discontinuities())), small_curve.dim)
+        assert [tuple(j) for j in jumps.tolist()] == [
+            tuple(c) for c in small_curve.discontinuities()
+        ]
+
+    def test_jump_predecessors_cached_and_correct(self, small_curve):
+        preds = small_curve.jump_predecessor_cells()
+        assert preds is small_curve.jump_predecessor_cells()
+        jumps = small_curve.jump_cells()
+        assert preds.shape == jumps.shape
+        for jump, pred in zip(jumps.tolist(), preds.tolist()):
+            key = small_curve.index(tuple(jump))
+            assert tuple(pred) == small_curve.point(key - 1)
+
+
 class TestVectorizedDefaults:
     def test_index_many_matches_scalar(self, small_curve):
         cells = np.asarray(list(small_curve.walk()), dtype=np.int64)

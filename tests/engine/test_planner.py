@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.exact import exact_average_clustering
 from repro.core.runs import merge_runs_with_gaps, query_runs, query_runs_vectorized
 from repro.curves import make_curve
 from repro.curves.base import SpaceFillingCurve
@@ -48,6 +49,72 @@ class TestRunConstruction:
         planner = Planner(make_curve("onion", 8, 2))
         with pytest.raises(InvalidQueryError):
             planner.plan(Rect((0, 0), (8, 8)))
+
+    def test_heuristic_vectorizes_small_not_large(self):
+        """Default crossover is surface-aware: thin shells stay on the
+        boundary path, chunky small rects take the bulk kernel."""
+        planner = Planner(make_curve("hilbert", 64, 2))
+        assert planner._use_vectorized(Rect.from_origin((0, 0), (4, 4)))
+        assert not planner._use_vectorized(Rect.from_origin((0, 0), (60, 60)))
+
+    def test_heuristic_matches_runs_regardless_of_path(self, rng):
+        curve = make_curve("onion", 32, 2)
+        planner = Planner(curve)
+        for _ in range(15):
+            lo = rng.integers(0, 16, size=2)
+            lengths = tuple(int(v) for v in rng.integers(1, 17, size=2))
+            rect = Rect.from_origin(tuple(int(l) for l in lo), lengths)
+            assert planner.key_runs(rect) == query_runs(curve, rect)
+
+    def test_explicit_volume_cap_still_honored(self):
+        """Legacy fixed cap: an explicit int overrides the heuristic."""
+        curve = make_curve("hilbert", 32, 2)
+        capped = Planner(curve, vectorize_volume_max=0)
+        big = Planner(curve, vectorize_volume_max=1 << 20)
+        assert not capped._use_vectorized(Rect.from_origin((0, 0), (2, 2)))
+        assert big._use_vectorized(Rect.from_origin((0, 0), (30, 30)))
+
+    def test_exhaustive_only_curves_always_vectorize(self):
+        """Curves with a kernel but no boundary/prefix capability would
+        run the same exhaustive scan either way; take the direct call."""
+        curve = make_curve("rowmajor", 16, 2)
+        planner = Planner(curve)
+        assert planner._has_vector_kernel
+        assert planner._use_vectorized(Rect.from_origin((0, 0), (14, 14)))
+
+
+class TestExpectedSeeks:
+    def test_matches_lemma1_exact_average(self):
+        curve = make_curve("hilbert", 16, 2)
+        planner = Planner(curve)
+        for lengths in [(3, 3), (5, 9), (16, 1)]:
+            assert planner.expected_seeks(lengths) == pytest.approx(
+                exact_average_clustering(curve, lengths)
+            )
+
+    def test_cached_per_window_size(self):
+        planner = Planner(make_curve("onion", 16, 2))
+        first = planner.expected_seeks((4, 4))
+        assert planner._expected_seeks == {(4, 4): first}
+        assert planner.expected_seeks([4, 4]) == first  # list form hits cache
+
+    def test_table_and_cost(self):
+        planner = Planner(make_curve("onion", 16, 2))
+        table = planner.expected_seeks_table([(2, 2), (8, 8)])
+        assert set(table) == {(2, 2), (8, 8)}
+        model = planner.cost_model
+        for window, seeks in table.items():
+            assert planner.expected_cost(window) == pytest.approx(
+                model.io_cost(seeks, 0)
+            )
+
+    def test_onion_beats_hilbert_on_near_full_windows(self):
+        """Cost estimation without planning: the table ranks curves the
+        way Theorem 1 / Lemma 5 say it must."""
+        onion = Planner(make_curve("onion", 32, 2))
+        hilbert = Planner(make_curve("hilbert", 32, 2))
+        window = (30, 30)
+        assert onion.expected_seeks(window) < hilbert.expected_seeks(window)
 
 
 class TestPolicies:

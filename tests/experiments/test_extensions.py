@@ -39,7 +39,7 @@ class TestGapAblation:
 
     def test_seeks_monotone_in_tolerance(self, result):
         by_curve = {}
-        for tolerance, curve, seeks, _, _ in result.rows:
+        for tolerance, curve, seeks, _, _, _ in result.rows:
             by_curve.setdefault(curve, []).append((tolerance, seeks))
         for curve, series in by_curve.items():
             series.sort()
@@ -51,13 +51,26 @@ class TestGapAblation:
     def test_onion_wins_at_zero_tolerance(self, result):
         at_zero = {
             curve: seeks
-            for tolerance, curve, seeks, _, _ in result.rows
+            for tolerance, curve, seeks, _, _, _ in result.rows
             if tolerance == 0
         }
         assert at_zero["onion"] < at_zero["hilbert"]
         assert at_zero["onion"] < at_zero["zorder"]
 
+    def test_expected_seeks_ranks_curves_like_measured(self, result):
+        """The sweep-derived E[seeks] column predicts the curve ranking."""
+        at_zero = {
+            curve: (seeks, expected)
+            for tolerance, curve, seeks, expected, _, _ in result.rows
+            if tolerance == 0
+        }
+        measured_order = sorted(at_zero, key=lambda c: at_zero[c][0])
+        expected_order = sorted(at_zero, key=lambda c: at_zero[c][1])
+        assert measured_order == expected_order
+        for curve, (seeks, expected) in at_zero.items():
+            assert expected > 0, curve
+
     def test_overread_zero_without_tolerance(self, result):
-        for tolerance, _, _, over_read, _ in result.rows:
+        for tolerance, _, _, _, over_read, _ in result.rows:
             if tolerance == 0:
                 assert over_read == 0

@@ -61,6 +61,21 @@ class TestFig5:
     def test_rows_cover_requested_lengths(self, result_2d):
         assert len(result_2d.rows) == len(TINY.fig5_lengths_2d())
 
+    def test_exact_mode_no_longer_samples(self):
+        """exact=True sweeps every placement; the sampled medians must sit
+        inside the exact envelope and the gap shape must persist."""
+        result = fig5.run(TINY, dim=2, exact=True)
+        assert result.experiment == "fig5a-exact"
+        assert len(result.rows) == len(TINY.fig5_lengths_2d())
+        gaps = result.column("median gap (h/o)")
+        assert gaps[0] > 5
+        assert 0.7 <= gaps[-1] <= 1.5
+
+    def test_exact_mode_is_deterministic(self):
+        a = fig5.run(TINY, dim=2, exact=True)
+        b = fig5.run(TINY, dim=2, exact=True)
+        assert a.rows == b.rows
+
 
 class TestFig6:
     @pytest.fixture(scope="class")
@@ -78,6 +93,15 @@ class TestFig6:
     def test_3d_variant_runs(self):
         result = fig6.run(TINY, dim=3)
         assert result.rows
+
+    def test_exact_mode_evaluates_all_placements(self, result):
+        exact = fig6.run(TINY, dim=2, exact=True)
+        assert exact.experiment == "fig6a-exact"
+        # Every retained shape contributes all of its placements, far more
+        # than the sampled per_length positions per shape.
+        assert sum(exact.column("queries")) > sum(result.column("queries"))
+        near_cube = dict(zip(exact.column("ratio"), exact.column("median gap (h/o)")))
+        assert near_cube.get("1", 0) >= 1
 
 
 class TestFig7:

@@ -36,6 +36,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig7a" in out and "fig7b" in out
 
+    def test_exact_flag_sweeps_every_placement(self, capsys):
+        assert main(["fig5", "--dim", "2", "--scale", "ci", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a-exact" in out and "ALL placements" in out
+
+    def test_exact_flag_ignored_for_sampled_experiments(self, capsys):
+        assert main(["fig7", "--dim", "2", "--scale", "ci", "--exact"]) == 0
+        assert "fig7a" in capsys.readouterr().out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figX"])
