@@ -13,7 +13,9 @@ The package provides:
   and SFC-keyed spatial index that turn clustering numbers into seeks;
 * :mod:`repro.engine` — the planner/executor split behind the index:
   immutable :class:`QueryPlan` objects with pluggable :class:`CostModel`
-  pricing, an LRU :class:`PlanCache`, and key-ordered batch execution;
+  pricing, an LRU :class:`PlanCache`, key-ordered batch execution, and
+  the scatter–gather serving half (:class:`ShardedPlanner`,
+  :class:`ScatterGatherExecutor`) behind :class:`ShardedSFCIndex`;
 * :mod:`repro.experiments` — regeneration of every table and figure.
 
 Quickstart::
@@ -33,6 +35,16 @@ Plan, inspect, execute::
     print(index.explain(query))            # estimated seeks == clustering
     result = index.range_query(query)      # measured seeks
     batch = index.range_query_batch([query.translate((1, 0))] * 100)
+
+Shard it (identical records, seeks and pages — proven by the
+differential suite — plus per-shard attribution)::
+
+    from repro import ShardedSFCIndex
+    sharded = ShardedSFCIndex(onion, num_shards=8, page_capacity=16)
+    sharded.bulk_load([(x, y) for x in range(64) for y in range(64)])
+    sharded.flush()
+    result = sharded.range_query(query)    # same records/seeks as above
+    result.per_shard, result.parallel_cost(workers=4)
 """
 
 from .curves import (
@@ -66,12 +78,15 @@ from .engine import (
     Planner,
     QueryPlan,
     RangeQueryResult,
+    ScatterGatherExecutor,
+    ShardedPlan,
+    ShardedPlanner,
 )
 from .errors import ReproError
 from .geometry import Rect
-from .index import SFCIndex
+from .index import SFCIndex, ShardedSFCIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SpaceFillingCurve",
@@ -94,6 +109,7 @@ __all__ = [
     "sweep_average_clustering",
     "sweep_clustering_grid",
     "SFCIndex",
+    "ShardedSFCIndex",
     "BatchResult",
     "CostModel",
     "ExecutionPolicy",
@@ -102,6 +118,9 @@ __all__ = [
     "Planner",
     "QueryPlan",
     "RangeQueryResult",
+    "ScatterGatherExecutor",
+    "ShardedPlan",
+    "ShardedPlanner",
     "ReproError",
     "__version__",
 ]

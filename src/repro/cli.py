@@ -7,10 +7,12 @@ Commands::
     cell   --curve NAME --side S  KEY     curve key -> cell
     cluster --curve NAME --side S --lo x,y --hi x,y
                                           clustering number + key runs
-    explain --curve NAME --side S --lo x,y --hi x,y
+    explain --curve NAME --side S --lo x,y --hi x,y [--shards N]
                                           EXPLAIN a range query's plan
-    batch  --curve NAME --side S --count N
+    batch  --curve NAME --side S --count N [--shards N]
                                           batched vs query-at-a-time I/O
+                                          (``--shards`` serves through the
+                                          scatter-gather sharded layer)
     render --curve NAME --side S [--mode keys|path]
                                           ASCII picture of the curve
     experiments …                         the experiment harness
@@ -31,7 +33,7 @@ from .core.runs import query_runs
 from .curves import curve_names, make_curve
 from .experiments.cli import main as experiments_main
 from .geometry import Rect
-from .index import SFCIndex
+from .index import SFCIndex, ShardedSFCIndex
 from .visualize import render_clusters, render_keys, render_path
 
 __all__ = ["main"]
@@ -54,12 +56,27 @@ def _add_index_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--page-capacity", type=int, default=16)
     parser.add_argument("--gap", type=int, default=0, help="gap tolerance")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a ShardedSFCIndex with this many shards (1: unsharded)",
+    )
 
 
-def _build_index(args: argparse.Namespace) -> SFCIndex:
-    """An index over random points, for the explain/batch commands."""
+def _build_index(args: argparse.Namespace):
+    """An index over random points, for the explain/batch commands.
+
+    ``--shards N`` (N > 1) builds the scatter–gather sharded layer
+    instead; its query surface is a drop-in for the single index.
+    """
     curve = make_curve(args.curve, args.side, args.dim)
-    index = SFCIndex(curve, page_capacity=args.page_capacity)
+    if args.shards > 1:
+        index = ShardedSFCIndex(
+            curve, num_shards=args.shards, page_capacity=args.page_capacity
+        )
+    else:
+        index = SFCIndex(curve, page_capacity=args.page_capacity)
     rng = np.random.default_rng(args.seed)
     count = min(args.points, curve.size)
     index.bulk_load(rng.integers(0, args.side, size=(count, args.dim)))
@@ -173,6 +190,15 @@ def main(argv: List[str] = None) -> int:
         )
         if batch.total_seeks:
             print(f"seek reduction:  {loop_seeks / batch.total_seeks:.1f}x")
+        if args.shards > 1:
+            fan_out = batch.total_fan_out / len(rects)
+            parallel = batch.parallel_cost(workers=args.shards)
+            print(
+                f"sharded:         {index.num_shards} shards, "
+                f"{fan_out:.2f} avg fan-out, "
+                f"{parallel:.1f} sim-ms parallel "
+                f"({batch.parallel_cost(workers=1) / parallel:.1f}x over 1 worker)"
+            )
         cache = index.plan_cache
         if cache is not None:
             print(

@@ -19,11 +19,18 @@ executor:
   ``(curve, rect, policy)`` so repeated workloads stop re-planning;
 * :mod:`~repro.engine.executor` — the :class:`Executor` running plans
   against the paged storage, including key-ordered
-  :meth:`~Executor.execute_batch` for whole workloads.
+  :meth:`~Executor.execute_batch` for whole workloads;
+* :mod:`~repro.engine.scatter` — the sharded serving half: a
+  :class:`ShardedPlanner` clipping global plans into per-shard
+  fragments (priced with the cost model plus a fan-out penalty) and a
+  :class:`ScatterGatherExecutor` whose key-ordered gather I/O keeps
+  sharded execution observationally identical to single-index
+  execution while shard workers filter records in a thread pool.
 
-:class:`repro.SFCIndex` wires these together and remains the convenient
-facade; use the engine directly to inspect plans, compare curves by
-estimated cost, or drive batched workloads.
+:class:`repro.SFCIndex` wires the single-node pieces together and
+:class:`repro.ShardedSFCIndex` the sharded ones; use the engine directly
+to inspect plans, compare curves by estimated cost, or drive batched
+workloads.
 """
 
 from .cache import PlanCache, PlanCacheStats
@@ -31,11 +38,22 @@ from .cost import DEFAULT_COST_MODEL, CostModel
 from .executor import BatchResult, Executor, RangeQueryResult, Record
 from .plan import ExecutionPolicy, PageLayout, QueryPlan
 from .planner import Planner
+from .scatter import (
+    DEFAULT_FANOUT_COST,
+    ScatterGatherExecutor,
+    ShardFragment,
+    ShardStats,
+    ShardedBatchResult,
+    ShardedPlan,
+    ShardedPlanner,
+    ShardedRangeQueryResult,
+)
 
 __all__ = [
     "BatchResult",
     "CostModel",
     "DEFAULT_COST_MODEL",
+    "DEFAULT_FANOUT_COST",
     "ExecutionPolicy",
     "Executor",
     "PageLayout",
@@ -45,4 +63,11 @@ __all__ = [
     "QueryPlan",
     "RangeQueryResult",
     "Record",
+    "ScatterGatherExecutor",
+    "ShardFragment",
+    "ShardStats",
+    "ShardedBatchResult",
+    "ShardedPlan",
+    "ShardedPlanner",
+    "ShardedRangeQueryResult",
 ]

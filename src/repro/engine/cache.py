@@ -5,10 +5,16 @@ refreshes.  Planning is pure, so a plan for ``(curve, rect, policy)`` is
 valid until the on-disk layout changes — the index invalidates the cache
 on every reflush.  Curves, rects and policies are all hashable, so the
 triple keys an ``OrderedDict`` LRU directly.
+
+The cache is thread-safe: the sharded serving layer probes it from many
+client threads while writers invalidate it on reflush, and an unlocked
+``move_to_end`` racing an eviction corrupts the ``OrderedDict``.  All
+three operations take one internal lock; callers never need their own.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Tuple
@@ -54,30 +60,34 @@ class PlanCache:
         if self.capacity < 1:
             raise StorageError(f"capacity must be >= 1, got {self.capacity}")
         self._plans: "OrderedDict[Hashable, QueryPlan]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def get(self, key: PlanKey) -> Optional[QueryPlan]:
         """The cached plan for ``key``, refreshing its recency, or None."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.stats.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
+            return plan
 
     def put(self, key: PlanKey, plan: QueryPlan) -> None:
         """Cache ``plan`` under ``key``, evicting the LRU entry when full."""
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        if len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            if len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self) -> None:
         """Drop every cached plan (the page layout changed)."""
-        if self._plans:
-            self.stats.invalidations += 1
-        self._plans.clear()
+        with self._lock:
+            if self._plans:
+                self.stats.invalidations += 1
+            self._plans.clear()

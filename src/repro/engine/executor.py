@@ -22,7 +22,16 @@ from ..storage.disk import SimulatedDisk
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .plan import PageLayout, QueryPlan
 
-__all__ = ["Record", "RangeQueryResult", "BatchResult", "Executor"]
+__all__ = [
+    "Record",
+    "RangeQueryResult",
+    "BatchResult",
+    "Executor",
+    "execution_order",
+    "read_page",
+    "resolved_spans",
+    "scan_page",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +40,63 @@ class Record:
 
     point: Cell
     payload: Any = None
+
+
+def resolved_spans(plan: QueryPlan, layout: PageLayout):
+    """The plan's page spans, resolving layout-free plans on the spot."""
+    if plan.page_spans is not None:
+        return plan.page_spans
+    return tuple(layout.span(start, end) for start, end in plan.scan_runs)
+
+
+def read_page(reader, page_id: int, page_cache: Optional[dict]):
+    """One page through the (optional) shared-scan cache.
+
+    The single statement of the batch read protocol — a cached page is
+    served without touching storage, a miss is read once and shared —
+    used by both the single-node and the scatter–gather executors so
+    their charged page sequences can never drift apart.
+    """
+    if page_cache is None:
+        return reader(page_id)
+    page = page_cache.get(page_id)
+    if page is None:
+        page = reader(page_id)
+        page_cache[page_id] = page
+    return page
+
+
+def scan_page(page, start: int, end: int, rect, records: List[Record]) -> int:
+    """Filter one page's records into ``records``; returns the over-read.
+
+    The single statement of the filter rule — keys inside ``[start,
+    end]`` whose points miss ``rect`` are tolerated-gap over-reads —
+    shared by both executors (the shard-transparency contract depends
+    on them filtering identically).
+    """
+    over_read = 0
+    if page[-1][0] >= start:
+        for key, record in page:
+            if start <= key <= end:
+                if rect.contains(record.point):
+                    records.append(record)
+                else:
+                    over_read += 1
+    return over_read
+
+
+def execution_order(plans: Sequence) -> List[int]:
+    """Batch execution order: ascending first scanned key, stable.
+
+    Shared by :meth:`Executor.execute_batch` and the scatter–gather
+    batch so both elevators visit queries identically (empty plans sort
+    last, ties break on submission order).
+    """
+    def sort_key(i: int):
+        first = plans[i].first_key
+        return (first is None, first if first is not None else 0, i)
+
+    return sorted(range(len(plans)), key=sort_key)
 
 
 @dataclass
@@ -139,9 +205,7 @@ class Executor:
         """
         layout = self._layout
         rect = plan.rect
-        spans = plan.page_spans
-        if spans is None:  # layout-free plan: resolve spans now
-            spans = tuple(layout.span(start, end) for start, end in plan.scan_runs)
+        spans = resolved_spans(plan, layout)
         stats = self._disk.stats
         seeks_before = stats.seeks
         seq_before = stats.sequential_reads
@@ -150,21 +214,8 @@ class Executor:
         over_read = 0
         for (start, end), (first, last) in zip(plan.scan_runs, spans):
             for position in range(first, last + 1):
-                page_id = layout.page_ids[position]
-                if _page_cache is None:
-                    page = reader(page_id)
-                else:
-                    page = _page_cache.get(page_id)
-                    if page is None:
-                        page = reader(page_id)
-                        _page_cache[page_id] = page
-                if page[-1][0] >= start:
-                    for key, record in page:
-                        if start <= key <= end:
-                            if rect.contains(record.point):
-                                records.append(record)
-                            else:
-                                over_read += 1
+                page = read_page(reader, layout.page_ids[position], _page_cache)
+                over_read += scan_page(page, start, end, rect, records)
         return RangeQueryResult(
             records=records,
             runs=len(plan.scan_runs),
@@ -190,11 +241,7 @@ class Executor:
         equal the sum over results.  Results come back in the caller's
         order, not execution order.
         """
-        def sort_key(i: int):
-            first = plans[i].first_key
-            return (first is None, first if first is not None else 0, i)
-
-        order = sorted(range(len(plans)), key=sort_key)
+        order = execution_order(plans)
         results: List[Optional[RangeQueryResult]] = [None] * len(plans)
         page_cache: dict = {}
         total_seeks = total_sequential = total_over = 0

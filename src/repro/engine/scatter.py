@@ -1,0 +1,751 @@
+"""Scatter–gather planning and execution for sharded serving.
+
+The serving layer partitions the key space into contiguous shards (the
+paper's distributed use case: a range query must contact every shard one
+of its key runs intersects).  This module is the engine half of that
+layer:
+
+* :class:`ShardedPlanner` plans a rect once globally, then *clips* the
+  plan's scan runs to each shard's key interval, producing one
+  :class:`~repro.engine.plan.QueryPlan` fragment per shard touched,
+  priced with the existing :class:`~repro.engine.cost.CostModel` plus a
+  per-shard fan-out penalty (the RPC each extra shard costs);
+* :class:`ShardedPlan` bundles the global plan with its fragments and
+  predicts both the serial I/O profile (identical to the single-index
+  plan) and the parallel makespan of scattering the fragments over
+  workers;
+* :class:`ScatterGatherExecutor` executes a sharded plan: a key-ordered
+  gather-side I/O pass charges exactly the page sequence the single
+  index would read, shard workers filter their fragments' records in a
+  thread pool, and the gather concatenates per-shard results in key
+  order.
+
+**Shard-transparency by construction.**  Storage is shared (the
+disaggregated-storage idiom): shards own key intervals and their own
+write paths, but flushed pages live in one store with one global
+:class:`~repro.engine.plan.PageLayout`.  Because the gather-side I/O
+pass iterates the *global* plan's scan runs — the same runs, spans and
+page sequence the single-index :class:`~repro.engine.executor.Executor`
+reads — a sharded range query returns exactly the same records, seeks
+and pages read as the unsharded index, for every curve, page capacity,
+shard map and gap tolerance.  The differential suite in
+``tests/index/test_sharded_equivalence.py`` proves this.
+
+Per-shard attribution is a *second* accounting: each fragment's I/O is
+replayed independently (its own head), which is what prices the parallel
+schedule — ``parallel_cost(workers)`` is the fan-out penalty plus the
+makespan of packing per-shard costs onto that many workers.  Serial
+totals prove transparency; per-shard replays price the scatter.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..curves.base import SpaceFillingCurve
+from ..errors import InvalidQueryError
+from ..geometry import Rect
+from ..storage.disk import SimulatedDisk, replay_reads
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .executor import (
+    BatchResult,
+    RangeQueryResult,
+    Record,
+    execution_order,
+    read_page,
+    resolved_spans,
+    scan_page,
+)
+from .plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
+from .planner import Planner
+
+__all__ = [
+    "DEFAULT_FANOUT_COST",
+    "ScatterGatherExecutor",
+    "ShardFragment",
+    "ShardStats",
+    "ShardedBatchResult",
+    "ShardedPlan",
+    "ShardedPlanner",
+    "ShardedRangeQueryResult",
+    "clip_runs",
+    "makespan",
+]
+
+#: A shard is an inclusive key interval (mirrors ``repro.index.partition``).
+Shard = Tuple[int, int]
+
+#: Simulated cost (sim-ms) of fanning a query out to one shard — the
+#: round trip each extra shard costs, on top of its I/O.
+DEFAULT_FANOUT_COST = 2.0
+
+
+def clip_runs(runs: Sequence[KeyRun], shard: Shard) -> List[KeyRun]:
+    """The part of each key run falling inside ``shard``'s interval.
+
+    Clipping preserves coverage: concatenating the clips over a shard
+    map that tiles the key space and re-merging adjacent runs
+    reconstructs the original runs exactly (the metamorphic suite
+    asserts this), so no record is lost or duplicated at a boundary.
+    """
+    lo, hi = shard
+    return [
+        (max(start, lo), min(end, hi))
+        for start, end in runs
+        if start <= hi and end >= lo
+    ]
+
+
+def makespan(costs: Iterable[float], workers: Optional[int] = None) -> float:
+    """Finish time of packing ``costs`` onto ``workers`` parallel workers.
+
+    Greedy longest-processing-time assignment — the classic 4/3
+    approximation, deterministic and good enough to *price* a scatter
+    schedule.  ``workers=None`` (or more workers than costs) runs every
+    cost on its own worker: the plain max.
+    """
+    pending = sorted((float(c) for c in costs), reverse=True)
+    if not pending:
+        return 0.0
+    if workers is not None and workers < 1:
+        raise InvalidQueryError(f"workers must be >= 1, got {workers}")
+    lanes = min(len(pending), workers) if workers is not None else len(pending)
+    loads = [0.0] * lanes
+    for cost in pending:
+        loads[loads.index(min(loads))] += cost
+    return max(loads)
+
+
+@dataclass(frozen=True)
+class ShardFragment:
+    """One shard's slice of a sharded plan: the clipped runs it serves."""
+
+    shard_id: int
+    #: The shard's inclusive key interval.
+    shard: Shard
+    #: A full query plan over the clipped runs (spans resolved against
+    #: the shared layout), so fragments cost and explain like any plan.
+    plan: QueryPlan
+
+
+@dataclass(frozen=True)
+class ShardedPlan:
+    """A global query plan plus its per-shard fragments.
+
+    ``plan`` is byte-for-byte the plan the unsharded index would build —
+    it is the I/O schedule the gather side charges, which is what makes
+    sharded execution observationally identical to single-index
+    execution.  ``fragments`` cover only the shards the query touches.
+    """
+
+    plan: QueryPlan
+    fragments: Tuple[ShardFragment, ...]
+    shards: Tuple[Shard, ...]
+    fanout_cost: float = DEFAULT_FANOUT_COST
+
+    @property
+    def shards_touched(self) -> int:
+        """Number of shards the query fans out to."""
+        return len(self.fragments)
+
+    @property
+    def clustering(self) -> int:
+        """The query's clustering number under the curve (global)."""
+        return self.plan.clustering
+
+    @property
+    def first_key(self) -> Optional[int]:
+        """Lowest key the plan scans (batch-ordering key); None if empty."""
+        return self.plan.first_key
+
+    @property
+    def estimated_seeks(self) -> int:
+        """Predicted seeks — equals the single-index plan's prediction."""
+        return self.plan.estimated_seeks
+
+    @property
+    def estimated_pages(self) -> int:
+        """Predicted total pages touched (same as unsharded)."""
+        return self.plan.estimated_pages
+
+    def estimated_cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """Serial simulated cost: the global I/O plus one fan-out per shard."""
+        return (
+            self.plan.estimated_cost(cost_model)
+            + self.fanout_cost * self.shards_touched
+        )
+
+    def estimated_parallel_cost(
+        self,
+        workers: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        """Predicted makespan of scattering the fragments over ``workers``.
+
+        Each fragment replays its own spans from a parked head (its
+        shard's independent I/O), the fragments are packed onto the
+        workers, and every shard contacted costs one fan-out penalty.
+        """
+        return self.fanout_cost * self.shards_touched + makespan(
+            (f.plan.estimated_cost(cost_model) for f in self.fragments), workers
+        )
+
+    def explain(self, max_fragments: int = 8) -> str:
+        """Human-readable scatter–gather plan (shard-aware EXPLAIN)."""
+        lines = [
+            f"ShardedPlan for {self.plan.rect} on {self.plan.curve!r}",
+            f"  shards:            {self.shards_touched} touched "
+            f"of {len(self.shards)}",
+            f"  clustering:        {self.clustering} exact run(s)",
+            f"  estimated seeks:   {self.estimated_seeks} "
+            "(identical to unsharded)",
+            f"  estimated pages:   {self.estimated_pages}",
+            f"  serial cost:       {self.estimated_cost():.1f} sim-ms "
+            f"(incl. {self.fanout_cost:.1f}/shard fan-out)",
+            f"  parallel cost:     {self.estimated_parallel_cost():.1f} sim-ms "
+            "(one worker per shard)",
+        ]
+        for i, fragment in enumerate(self.fragments):
+            if i == max_fragments:
+                lines.append(
+                    f"  … {len(self.fragments) - max_fragments} more shard(s)"
+                )
+                break
+            lo, hi = fragment.shard
+            plan = fragment.plan
+            lines.append(
+                f"  shard {fragment.shard_id} keys [{lo}, {hi}]: "
+                f"{plan.num_scan_runs} run(s), "
+                f"{plan.estimated_pages} page(s), "
+                f"{plan.estimated_cost():.1f} sim-ms"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's attributed share of a query or batch execution."""
+
+    shard_id: int
+    runs: int
+    seeks: int
+    sequential_reads: int
+    records: int
+    over_read: int = 0
+
+    @property
+    def pages_read(self) -> int:
+        """Pages this shard's worker touched."""
+        return self.seeks + self.sequential_reads
+
+    def cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """This shard's simulated I/O time."""
+        model = cost_model or DEFAULT_COST_MODEL
+        return model.io_cost(self.seeks, self.sequential_reads)
+
+
+def _parallel_cost(
+    per_shard: Sequence[ShardStats],
+    fan_out: int,
+    fanout_cost: float,
+    workers: Optional[int],
+    cost_model: Optional[CostModel],
+) -> float:
+    """Fan-out penalty plus the makespan of the per-shard I/O costs."""
+    return fanout_cost * fan_out + makespan(
+        (s.cost(cost_model) for s in per_shard), workers
+    )
+
+
+@dataclass
+class ShardedRangeQueryResult(RangeQueryResult):
+    """A range-query result with its per-shard scatter breakdown.
+
+    The inherited totals (``seeks``, ``sequential_reads``, ``pages_read``,
+    ``over_read``, ``records``) are the *canonical serial* accounting and
+    equal the single-index result exactly; ``per_shard`` re-attributes
+    the same pages to independent shard heads for parallel pricing.
+    """
+
+    per_shard: Tuple[ShardStats, ...] = ()
+    fanout_cost: float = DEFAULT_FANOUT_COST
+
+    @property
+    def fan_out(self) -> int:
+        """Number of shards that served part of this query."""
+        return len(self.per_shard)
+
+    def parallel_cost(
+        self,
+        workers: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        """Simulated latency with the shards scattered over ``workers``."""
+        return _parallel_cost(
+            self.per_shard, self.fan_out, self.fanout_cost, workers, cost_model
+        )
+
+
+@dataclass
+class ShardedBatchResult(BatchResult):
+    """Aggregate outcome of a scatter–gather batch.
+
+    Inherited totals are canonical-serial (equal to the single index's
+    :meth:`~repro.engine.executor.Executor.execute_batch`); ``per_shard``
+    aggregates each shard's own batch stream — pages deduplicated *per
+    shard* (the shared-scan-per-shard model), replayed on that shard's
+    head — and ``total_fan_out`` counts every shard contact the batch
+    made.
+    """
+
+    results: List[ShardedRangeQueryResult] = field(default_factory=list)
+    per_shard: Tuple[ShardStats, ...] = ()
+    total_fan_out: int = 0
+    fanout_cost: float = DEFAULT_FANOUT_COST
+
+    def parallel_cost(
+        self,
+        workers: Optional[int] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> float:
+        """Simulated latency of the whole batch over ``workers`` shard workers.
+
+        Unlike the per-query cost, the batch pays the fan-out penalty
+        once per *shard contacted* (``len(per_shard)``), not once per
+        query–shard contact: the scatter ships every shard its whole
+        fragment stream in one batched request, which is the same
+        amortization the per-shard shared scans model.  ``total_fan_out``
+        still counts every contact — that is the paper's shards-touched
+        workload metric.
+        """
+        return _parallel_cost(
+            self.per_shard, len(self.per_shard), self.fanout_cost, workers,
+            cost_model,
+        )
+
+
+class ShardedPlanner:
+    """Plans rect queries against a shard map: global plan + clipped fragments.
+
+    Parameters
+    ----------
+    curve:
+        The curve keys are computed under.
+    shards:
+        Contiguous inclusive key intervals tiling ``[0, curve.size)``
+        (e.g. from :func:`repro.index.partition.equal_key_shards` or
+        :func:`~repro.index.partition.balanced_shards`).
+    cost_model:
+        Prices attached to every plan and fragment.
+    fanout_cost:
+        Simulated cost of contacting one shard (see
+        :data:`DEFAULT_FANOUT_COST`).
+    """
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        shards: Sequence[Shard],
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        fanout_cost: float = DEFAULT_FANOUT_COST,
+    ):
+        self._shards = _validated_shards(shards, curve.size)
+        if fanout_cost < 0:
+            raise InvalidQueryError(f"fanout_cost must be >= 0, got {fanout_cost}")
+        self._fanout_cost = float(fanout_cost)
+        self._planner = Planner(curve, cost_model=cost_model)
+
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        """The curve this planner plans for."""
+        return self._planner.curve
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        """The shard map (inclusive key intervals, ascending)."""
+        return self._shards
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model pricing plans and fragments."""
+        return self._planner.cost_model
+
+    @property
+    def fanout_cost(self) -> float:
+        """Per-shard fan-out penalty attached to produced plans."""
+        return self._fanout_cost
+
+    @property
+    def planner(self) -> Planner:
+        """The inner single-node planner building the global plans."""
+        return self._planner
+
+    def plan(
+        self,
+        rect: Rect,
+        policy: ExecutionPolicy = ExecutionPolicy(),
+        layout: Optional[PageLayout] = None,
+    ) -> ShardedPlan:
+        """Plan ``rect`` once globally, then scatter it across the shards.
+
+        Gap merging happens *before* clipping (on the global runs), so a
+        tolerated gap spanning a shard boundary behaves exactly as it
+        would unsharded.
+        """
+        plan = self._planner.plan(rect, policy, layout)
+        fragments = []
+        for shard_id, shard in enumerate(self._shards):
+            scan_runs = clip_runs(plan.scan_runs, shard)
+            if not scan_runs:
+                continue
+            runs = clip_runs(plan.runs, shard)
+            page_spans = (
+                tuple(layout.span(start, end) for start, end in scan_runs)
+                if layout is not None
+                else None
+            )
+            fragments.append(
+                ShardFragment(
+                    shard_id=shard_id,
+                    shard=shard,
+                    plan=QueryPlan(
+                        curve=plan.curve,
+                        rect=rect,
+                        policy=policy,
+                        runs=tuple(runs),
+                        scan_runs=tuple(scan_runs),
+                        page_spans=page_spans,
+                        cost_model=plan.cost_model,
+                    ),
+                )
+            )
+        return ShardedPlan(
+            plan=plan,
+            fragments=tuple(fragments),
+            shards=self._shards,
+            fanout_cost=self._fanout_cost,
+        )
+
+    def plan_many(
+        self,
+        rects: Iterable[Rect],
+        policy: ExecutionPolicy = ExecutionPolicy(),
+        layout: Optional[PageLayout] = None,
+    ) -> List[ShardedPlan]:
+        """Plan a whole workload (one sharded plan per rect, same policy)."""
+        return [self.plan(rect, policy, layout) for rect in rects]
+
+
+def _validated_shards(shards: Sequence[Shard], key_space: int) -> Tuple[Shard, ...]:
+    """Require ``shards`` to tile ``[0, key_space)`` contiguously, ascending."""
+    if not shards:
+        raise InvalidQueryError("shard map must contain at least one shard")
+    tiled = tuple((int(lo), int(hi)) for lo, hi in shards)
+    if tiled[0][0] != 0 or tiled[-1][1] != key_space - 1:
+        raise InvalidQueryError(
+            f"shard map must cover [0, {key_space}), got {tiled[0]}..{tiled[-1]}"
+        )
+    if any(hi < lo for lo, hi in tiled):
+        raise InvalidQueryError(f"shards must be non-empty intervals, got {tiled}")
+    for (_, prev_hi), (lo, _) in zip(tiled, tiled[1:]):
+        if lo != prev_hi + 1:
+            raise InvalidQueryError(
+                f"shards must be contiguous ascending intervals, got {tiled}"
+            )
+    return tiled
+
+
+class ScatterGatherExecutor:
+    """Executes sharded plans: key-ordered gather I/O, parallel shard filters.
+
+    The charged I/O pass walks the *global* plan's scan runs in key
+    order against the shared storage — page for page the sequence the
+    single-index executor reads, which is what keeps the measured
+    seeks/pages identical to unsharded execution (and deterministic even
+    when many client threads execute concurrently: the pass holds an
+    internal lock).  The per-shard record filtering then fans out to a
+    thread pool, one task per fragment, and the gather concatenates the
+    fragments' records in shard order — which *is* global key order,
+    because shards are ascending key intervals.
+
+    Parameters
+    ----------
+    disk:
+        The shared simulated disk all shards' pages live on.
+    layout:
+        The global flushed page layout.
+    reader:
+        Page reader (``disk.read`` or a buffer pool's ``read``).
+    max_workers:
+        Thread-pool width for fragment filtering; ``None`` sizes the
+        pool to the machine (CPU count, capped at 16), ``0``/``1``
+        filters inline.  The pool is created lazily on the first
+        multi-fragment query and reused for the executor's lifetime —
+        per-query pool construction would dwarf the filtering work.
+    io_lock:
+        Lock serializing the charged I/O pass.  Pass one *shared* lock
+        when several executors read the same disk (the sharded index
+        hands every executor generation its single I/O lock — a private
+        per-executor lock would let a query racing a reflush interleave
+        reads with the new generation and corrupt seek accounting).
+        Defaults to a private lock for standalone use.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        layout: PageLayout,
+        reader: Optional[Callable[[int], object]] = None,
+        max_workers: Optional[int] = None,
+        io_lock: Optional[threading.Lock] = None,
+    ):
+        if max_workers is not None and max_workers < 0:
+            raise InvalidQueryError(f"max_workers must be >= 0, got {max_workers}")
+        self._disk = disk
+        self._layout = layout
+        self._reader = reader if reader is not None else disk.read
+        self._max_workers = max_workers
+        self._width = (
+            min(16, os.cpu_count() or 4) if max_workers is None else max_workers
+        )
+        self._io_lock = io_lock if io_lock is not None else threading.Lock()
+        self._filter_pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def layout(self) -> PageLayout:
+        """The shared page layout this executor scans."""
+        return self._layout
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """Configured thread-pool width (None: one worker per fragment)."""
+        return self._max_workers
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _charge_reads(
+        self,
+        plan: QueryPlan,
+        page_cache: Optional[dict],
+    ) -> Tuple[Dict[int, object], int, int]:
+        """Gather-side I/O: read the global plan's pages in key order.
+
+        Returns the fetched pages plus the (seeks, sequential) charged —
+        exactly what :meth:`Executor.execute` would charge, because the
+        loop is the same: every page of every scan run, through the
+        shared batch ``page_cache`` when one is given.
+        """
+        layout = self._layout
+        spans = resolved_spans(plan, layout)
+        reader = self._reader
+        pages: Dict[int, object] = {}
+        with self._io_lock:
+            stats = self._disk.stats
+            seeks_before = stats.seeks
+            seq_before = stats.sequential_reads
+            for (first, last) in spans:
+                for position in range(first, last + 1):
+                    page_id = layout.page_ids[position]
+                    pages[page_id] = read_page(reader, page_id, page_cache)
+            seeks = stats.seeks - seeks_before
+            sequential = stats.sequential_reads - seq_before
+        return pages, seeks, sequential
+
+    def _filter_fragment(
+        self,
+        fragment: ShardFragment,
+        rect: Rect,
+        pages: Dict[int, object],
+    ) -> Tuple[List[Record], int, List[int]]:
+        """Shard worker: filter the fragment's records from fetched pages.
+
+        Also returns the page positions visited, in order — the batch
+        path replays them per shard, and collecting them here avoids a
+        second walk over every span.
+        """
+        layout = self._layout
+        plan = fragment.plan
+        spans = resolved_spans(plan, layout)
+        records: List[Record] = []
+        over_read = 0
+        positions: List[int] = []
+        for (start, end), (first, last) in zip(plan.scan_runs, spans):
+            for position in range(first, last + 1):
+                positions.append(position)
+                page = pages[layout.page_ids[position]]
+                over_read += scan_page(page, start, end, rect, records)
+        return records, over_read, positions
+
+    def _scatter(
+        self,
+        splan: ShardedPlan,
+        pages: Dict[int, object],
+    ) -> List[Tuple[List[Record], int, List[int]]]:
+        """Run every fragment's filter, pooled when it pays off."""
+        rect = splan.plan.rect
+        pool = (
+            self._ensure_pool()
+            if self._width > 1 and len(splan.fragments) > 1
+            else None
+        )
+        if pool is None:
+            return [self._filter_fragment(f, rect, pages) for f in splan.fragments]
+        try:
+            futures = [
+                pool.submit(self._filter_fragment, fragment, rect, pages)
+                for fragment in splan.fragments
+            ]
+        except RuntimeError:
+            # The pool was closed under us (a reflush retired this
+            # executor generation mid-query): finish inline.
+            return [self._filter_fragment(f, rect, pages) for f in splan.fragments]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The persistent filter pool, created on first use."""
+        with self._pool_lock:
+            if self._closed:
+                return None
+            if self._filter_pool is None:
+                self._filter_pool = ThreadPoolExecutor(max_workers=self._width)
+            return self._filter_pool
+
+    def close(self) -> None:
+        """Retire this executor generation's filter pool.
+
+        In-flight scatters finish their submitted work; later ones fall
+        back to inline filtering.  Idempotent.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._filter_pool = self._filter_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        splan: ShardedPlan,
+        _page_cache: Optional[dict] = None,
+        _positions_out: Optional[List[List[int]]] = None,
+    ) -> ShardedRangeQueryResult:
+        """Run one sharded plan and gather the per-shard results.
+
+        ``_page_cache`` is the batch path's shared-scan state;
+        ``_positions_out``, when given, receives each fragment's visited
+        page positions (aligned with ``splan.fragments``) so the batch
+        path can replay per-shard streams without re-walking the spans.
+        """
+        pages, seeks, sequential = self._charge_reads(splan.plan, _page_cache)
+        filtered = self._scatter(splan, pages)
+        records: List[Record] = []
+        over_read = 0
+        per_shard = []
+        for fragment, (shard_records, shard_over, positions) in zip(
+            splan.fragments, filtered
+        ):
+            records.extend(shard_records)
+            over_read += shard_over
+            if _positions_out is not None:
+                _positions_out.append(positions)
+            frag_seeks, frag_seq = fragment.plan._predicted_reads
+            per_shard.append(
+                ShardStats(
+                    shard_id=fragment.shard_id,
+                    runs=fragment.plan.num_scan_runs,
+                    seeks=frag_seeks,
+                    sequential_reads=frag_seq,
+                    records=len(shard_records),
+                    over_read=shard_over,
+                )
+            )
+        return ShardedRangeQueryResult(
+            records=records,
+            runs=splan.plan.num_scan_runs,
+            seeks=seeks,
+            sequential_reads=sequential,
+            over_read=over_read,
+            per_shard=tuple(per_shard),
+            fanout_cost=splan.fanout_cost,
+        )
+
+    def execute_batch(self, splans: Sequence[ShardedPlan]) -> ShardedBatchResult:
+        """Run a workload of sharded plans as one key-ordered shared scan.
+
+        The gather side orders plans by first scanned key and shares
+        fetched pages across the whole batch (the same elevator +
+        shared-scan policy as the single-index batch, so the canonical
+        totals match it exactly).  On the scatter side each shard serves
+        its fragment stream with its *own* shared scan: a page a shard
+        already read for an earlier query in the batch is free for that
+        shard, and the per-shard totals replay each shard's deduplicated
+        page stream on its own head.
+        """
+        order = execution_order(splans)
+        results: List[Optional[ShardedRangeQueryResult]] = [None] * len(splans)
+        page_cache: dict = {}
+        fan_out = 0
+        # Per-shard batch streams: ordered page positions, deduplicated
+        # per shard (its shared scan), plus per-shard tallies.
+        shard_positions: Dict[int, List[int]] = {}
+        shard_seen: Dict[int, set] = {}
+        shard_runs: Dict[int, int] = {}
+        shard_records: Dict[int, int] = {}
+        shard_over: Dict[int, int] = {}
+
+        for i in order:
+            visited: List[List[int]] = []
+            result = self.execute(
+                splans[i], _page_cache=page_cache, _positions_out=visited
+            )
+            results[i] = result
+            fan_out += result.fan_out
+            for fragment, stats, fragment_positions in zip(
+                splans[i].fragments, result.per_shard, visited
+            ):
+                sid = fragment.shard_id
+                positions = shard_positions.setdefault(sid, [])
+                seen = shard_seen.setdefault(sid, set())
+                for position in fragment_positions:
+                    if position not in seen:
+                        seen.add(position)
+                        positions.append(position)
+                shard_runs[sid] = shard_runs.get(sid, 0) + stats.runs
+                shard_records[sid] = shard_records.get(sid, 0) + stats.records
+                shard_over[sid] = shard_over.get(sid, 0) + stats.over_read
+
+        per_shard = []
+        for sid in sorted(shard_positions):
+            seeks, sequential = replay_reads(
+                (position, position) for position in shard_positions[sid]
+            )
+            per_shard.append(
+                ShardStats(
+                    shard_id=sid,
+                    runs=shard_runs[sid],
+                    seeks=seeks,
+                    sequential_reads=sequential,
+                    records=shard_records[sid],
+                    over_read=shard_over[sid],
+                )
+            )
+        done = [r for r in results if r is not None]
+        return ShardedBatchResult(
+            results=done,
+            executed_order=tuple(order),
+            total_seeks=sum(r.seeks for r in done),
+            total_sequential_reads=sum(r.sequential_reads for r in done),
+            total_over_read=sum(r.over_read for r in done),
+            per_shard=tuple(per_shard),
+            total_fan_out=fan_out,
+            fanout_cost=splans[0].fanout_cost if splans else DEFAULT_FANOUT_COST,
+        )

@@ -12,6 +12,7 @@ from . import (
     higher_dims,
     lemma5,
     rows_columns,
+    sharded_io,
     table1,
     stretch_table,
     table2,
@@ -34,6 +35,7 @@ __all__ = [
     "fig7",
     "lemma5",
     "rows_columns",
+    "sharded_io",
     "table1",
     "table2",
     "theory_validation",

@@ -24,6 +24,7 @@ from . import (
     higher_dims,
     lemma5,
     rows_columns,
+    sharded_io,
     table1,
     stretch_table,
     table2,
@@ -40,6 +41,7 @@ _DIMMED: Dict[str, Callable] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "lemma5": lemma5.run,
+    "sharded": sharded_io.run,
 }
 #: Experiments accepting ``exact=True`` (full translation sweep, no sampling).
 _EXACT_CAPABLE = frozenset({"fig5", "fig6"})

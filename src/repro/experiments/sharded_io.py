@@ -1,0 +1,106 @@
+"""Sharded serving: fig 7 workloads scattered over shard workers.
+
+The paper's Fig 7 measures clustering over random-corner rectangles;
+this experiment runs that workload shape through the sharded serving
+layer and reports what sharding buys and what it costs:
+
+* **transparency** — the sharded batch's canonical seeks/pages are
+  *identical* to the single index's (asserted per row, printed as a
+  check mark), so sharding never changes what a query reads;
+* **fan-out** — the mean number of shards each query contacts (the
+  paper's ``shards touched``, now measured on a live query path);
+* **parallel latency** — the simulated batch makespan when the
+  per-shard work is scattered over as many workers as shards, versus
+  serial execution.
+
+Expected shape: fan-out grows mildly with the shard count (good
+clustering keeps runs contiguous), while the parallel batch latency
+drops as shards split the scan work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..curves import make_curve
+from ..core.queries import random_corner_rects
+from ..index import SFCIndex, ShardedSFCIndex
+from .config import Scale, get_scale
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+#: Index universes stay small enough to bulk-load quickly at any scale.
+_MAX_SIDE = {2: 64, 3: 16}
+_PAGE_CAPACITY = 16
+_SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def run(scale: Scale = None, dim: int = 2) -> ExperimentResult:
+    """Regenerate the sharded serving comparison for ``dim`` in {2, 3}."""
+    scale = scale or get_scale()
+    side = min(scale.side_2d if dim == 2 else scale.side_3d, _MAX_SIDE[dim])
+    count = min(scale.queries_2d if dim == 2 else scale.queries_3d, 200)
+    rng = np.random.default_rng(scale.seed + 13 * dim)
+    num_points = min(side**dim, 5000)
+    points = [tuple(map(int, p)) for p in rng.integers(0, side, size=(num_points, dim))]
+    rects = random_corner_rects(side, dim, count, rng)
+
+    rows = []
+    transparent = True
+    for name in ("onion", "hilbert"):
+        curve = make_curve(name, side, dim)
+        single = SFCIndex(curve, page_capacity=_PAGE_CAPACITY)
+        single.bulk_load(points)
+        single.flush()
+        baseline = single.range_query_batch(rects)
+        for num_shards in _SHARD_COUNTS:
+            index = ShardedSFCIndex(
+                curve, num_shards=num_shards, page_capacity=_PAGE_CAPACITY
+            )
+            index.bulk_load(points)
+            index.flush()
+            batch = index.range_query_batch(rects)
+            same = (
+                batch.total_seeks == baseline.total_seeks
+                and batch.total_pages_read == baseline.total_pages_read
+                and batch.total_records == baseline.total_records
+            )
+            transparent = transparent and same
+            fan_out = batch.total_fan_out / len(rects)
+            serial = batch.parallel_cost(workers=1)
+            parallel = batch.parallel_cost(workers=num_shards)
+            rows.append(
+                (
+                    name,
+                    num_shards,
+                    batch.total_seeks,
+                    "yes" if same else "NO",
+                    round(fan_out, 2),
+                    round(serial, 1),
+                    round(parallel, 1),
+                    round(serial / parallel, 2) if parallel else float("inf"),
+                )
+            )
+
+    return ExperimentResult(
+        experiment=f"sharded{'a' if dim == 2 else 'b'}",
+        title=(
+            f"sharded scatter-gather serving, {dim}-d "
+            f"(side {side}, {count} fig7 queries, {num_points} points, "
+            f"scale={scale.name})"
+        ),
+        headers=[
+            "curve", "shards", "batch seeks", "same as unsharded",
+            "avg fan-out", "serial sim-ms", "parallel sim-ms", "speedup",
+        ],
+        rows=rows,
+        notes=[
+            "transparency: " + (
+                "sharded I/O identical to unsharded on every row"
+                if transparent
+                else "MISMATCH — sharding changed the I/O profile"
+            ),
+            "parallel latency should drop as shards split the scan work",
+        ],
+    )

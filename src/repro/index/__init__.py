@@ -1,4 +1,4 @@
-"""SFC-backed spatial indexing and partitioning."""
+"""SFC-backed spatial indexing, partitioning and sharded serving."""
 
 from .advisor import CurveScore, advise
 from .partition import (
@@ -8,6 +8,7 @@ from .partition import (
     shard_of_key,
     shards_touched,
 )
+from .sharded import ShardedSFCIndex
 from .spatial import Record, RangeQueryResult, SFCIndex
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "Record",
     "RangeQueryResult",
     "SFCIndex",
+    "ShardedSFCIndex",
     "average_shards_touched",
     "balanced_shards",
     "equal_key_shards",

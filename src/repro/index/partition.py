@@ -51,15 +51,29 @@ def balanced_shards(keys: Sequence[int], num_shards: int, key_space: int) -> Lis
     """Cut at key quantiles so each shard holds ~equal record counts.
 
     ``keys`` is a sample (or the full set) of stored curve keys;
-    ``key_space`` is the exclusive upper bound of the key domain.
+    ``key_space`` is the exclusive upper bound of the key domain.  Every
+    key must lie in ``[0, key_space)`` — a sample outside the domain
+    would silently produce a map not covering the key space.
+
+    Each cut is the *last* sampled key of the shard it closes, so a
+    two-key sample split two ways yields one key per shard (cutting at
+    the rank itself would pull the whole sample into the first shard
+    when the cut rank lands on the final key).  When the sample has
+    fewer distinct keys than ``num_shards``, fewer (still covering,
+    non-empty-ranged) shards are returned.
     """
     if num_shards < 1:
         raise InvalidQueryError(f"num_shards must be >= 1, got {num_shards}")
     sorted_keys = np.sort(np.asarray(list(keys), dtype=np.int64))
     if sorted_keys.size == 0:
         raise InvalidQueryError("cannot balance shards over an empty key sample")
+    if sorted_keys[0] < 0 or sorted_keys[-1] >= key_space:
+        raise InvalidQueryError(
+            f"keys must lie in [0, {key_space}), got range "
+            f"[{int(sorted_keys[0])}, {int(sorted_keys[-1])}]"
+        )
     cut_ranks = (np.arange(1, num_shards) * sorted_keys.size) // num_shards
-    cuts = sorted(set(int(sorted_keys[r]) for r in cut_ranks))
+    cuts = sorted(set(int(sorted_keys[r - 1]) for r in cut_ranks if r >= 1))
     starts = [0] + [c + 1 for c in cuts]
     ends = cuts + [key_space - 1]
     return [(s, e) for s, e in zip(starts, ends) if s <= e]

@@ -1,0 +1,456 @@
+"""``ShardedSFCIndex``: the sharded serving layer over one shared store.
+
+The paper's distributed motivation (WSDM'16-style linear-embedding
+partitioning) shards multi-dimensional data into contiguous curve-key
+ranges; :mod:`repro.index.partition` computes the shard maps and this
+module serves queries through them.  The architecture is
+**shared-storage sharding** (the disaggregated idiom): every shard owns
+
+* a key interval from the shard map (``equal_key_shards`` by default,
+  re-cut at record quantiles by :meth:`ShardedSFCIndex.rebalance`),
+* its own in-memory B+-tree write path — inserts, bulk loads and
+  deletes are routed by :func:`~repro.index.partition.shard_of_key`,
+
+while flushed pages live on one shared :class:`SimulatedDisk` with one
+global :class:`~repro.engine.plan.PageLayout`: flushing walks the shards
+in key order and packs pages *across* shard boundaries, which makes the
+layout byte-for-byte the one the unsharded :class:`SFCIndex` builds.
+
+Queries scatter and gather through :mod:`repro.engine.scatter`: the
+:class:`~repro.engine.scatter.ShardedPlanner` clips the global plan to
+per-shard fragments and the
+:class:`~repro.engine.scatter.ScatterGatherExecutor` charges a
+key-ordered I/O pass (identical to unsharded execution — the
+shard-transparency the differential suite proves) while shard workers
+filter records in a thread pool.
+
+The index is safe to hammer from many threads: a single lock guards the
+write paths and the layout/epoch swap, query snapshots are taken under
+it, and plans are cached under a key that includes the layout *epoch*,
+so a planner racing a reflush can never poison the cache with a
+stale-layout plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..curves.base import SpaceFillingCurve
+from ..engine.cache import PlanCache
+from ..engine.cost import DEFAULT_COST_MODEL, CostModel
+from ..engine.executor import Record
+from ..engine.plan import ExecutionPolicy, PageLayout
+from ..engine.scatter import (
+    DEFAULT_FANOUT_COST,
+    ScatterGatherExecutor,
+    Shard,
+    ShardedBatchResult,
+    ShardedPlan,
+    ShardedPlanner,
+    ShardedRangeQueryResult,
+)
+from ..errors import InvalidQueryError
+from ..geometry import Rect
+from ..storage.bplustree import BPlusTree
+from ..storage.disk import SimulatedDisk
+from .partition import balanced_shards, equal_key_shards, shard_of_key
+from .spatial import keyed_records, pack_layout
+
+__all__ = ["ShardedSFCIndex"]
+
+
+class ShardedSFCIndex:
+    """A spatial index sharded into contiguous curve-key intervals.
+
+    Drop-in for :class:`~repro.index.spatial.SFCIndex` on the query
+    side — ``range_query`` / ``range_query_batch`` return results whose
+    records and serial I/O totals are *identical* to the single index —
+    with per-shard write paths, scatter–gather execution and parallel
+    cost attribution on top.
+
+    Parameters
+    ----------
+    curve:
+        Any :class:`~repro.curves.base.SpaceFillingCurve`.
+    num_shards:
+        How many equal-key-range shards to cut (ignored when ``shards``
+        is given).
+    page_capacity, tree_order, cost_model, plan_cache_size:
+        As on :class:`SFCIndex`.
+    shards:
+        Explicit shard map — contiguous inclusive key intervals tiling
+        ``[0, curve.size)``.
+    fanout_cost:
+        Simulated per-shard contact cost attached to plans and results.
+    max_workers:
+        Thread-pool width for per-shard record filtering (``None``:
+        sized to the machine — CPU count, capped at 16; ``0``/``1``:
+        filter inline).
+    """
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        num_shards: int = 4,
+        page_capacity: int = 64,
+        tree_order: int = 32,
+        cost_model: Optional[CostModel] = None,
+        plan_cache_size: int = 256,
+        shards: Optional[Sequence[Shard]] = None,
+        fanout_cost: float = DEFAULT_FANOUT_COST,
+        max_workers: Optional[int] = None,
+    ):
+        if page_capacity < 1:
+            raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
+        self._curve = curve
+        self._page_capacity = page_capacity
+        self._tree_order = tree_order
+        self._cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self._fanout_cost = fanout_cost
+        self._max_workers = max_workers
+        shard_map = (
+            list(shards) if shards is not None else equal_key_shards(curve, num_shards)
+        )
+        self._planner = ShardedPlanner(
+            curve, shard_map, cost_model=self._cost_model, fanout_cost=fanout_cost
+        )
+        self._trees = [BPlusTree(order=tree_order) for _ in self._planner.shards]
+        self._counts = [0] * len(self._planner.shards)
+        self._disk = SimulatedDisk()
+        self._plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
+        self._layout: Optional[PageLayout] = None
+        self._executor: Optional[ScatterGatherExecutor] = None
+        self._epoch = 0
+        self._lock = threading.RLock()
+        # One I/O lock shared by every executor generation: a query that
+        # snapshotted the previous executor must still serialize its
+        # charged reads with queries on the new one (same disk).
+        self._io_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        """The curve keying this index."""
+        return self._curve
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        """The shard map (inclusive key intervals, ascending)."""
+        return self._planner.shards
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the map."""
+        return len(self._planner.shards)
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The shared simulated disk all shards' pages live on."""
+        return self._disk
+
+    @property
+    def planner(self) -> ShardedPlanner:
+        """The scatter planner producing this index's sharded plans."""
+        return self._planner
+
+    @property
+    def plan_cache(self) -> Optional[PlanCache]:
+        """The LRU plan cache, when enabled (thread-safe)."""
+        return self._plan_cache
+
+    @property
+    def page_layout(self) -> Optional[PageLayout]:
+        """Global key layout of the flushed pages (None until a flush)."""
+        return self._layout
+
+    @property
+    def executor(self) -> Optional[ScatterGatherExecutor]:
+        """The scatter–gather executor bound to the current layout."""
+        return self._executor
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model pricing this index's plans."""
+        return self._cost_model
+
+    @property
+    def epoch(self) -> int:
+        """Layout generation counter (bumped by every flush/rebalance)."""
+        return self._epoch
+
+    @property
+    def shard_loads(self) -> Tuple[int, ...]:
+        """Record count per shard (the balance ``rebalance`` restores)."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def __len__(self) -> int:
+        return sum(self._counts)
+
+    def shard_of(self, point: Sequence[int]) -> int:
+        """Id of the shard serving ``point``'s curve key."""
+        return shard_of_key(self._planner.shards, self._curve.index(point))
+
+    # ------------------------------------------------------------------
+    # Updates (routed by shard_of_key)
+    # ------------------------------------------------------------------
+    def _append_record(self, key: int, record: Record) -> None:
+        shard_id = shard_of_key(self._planner.shards, key)
+        tree = self._trees[shard_id]
+        bucket = tree.get(key)
+        if bucket is None:
+            tree.insert(key, [record])
+        else:
+            bucket.append(record)
+        self._counts[shard_id] += 1
+
+    def insert(self, point: Sequence[int], payload: Any = None) -> None:
+        """Add a record at ``point``, routed to its shard's write path."""
+        key = self._curve.index(point)
+        with self._lock:
+            self._append_record(key, Record(tuple(int(c) for c in point), payload))
+            self._invalidate_layout()
+
+    def bulk_load(
+        self,
+        points: Iterable[Sequence[int]],
+        payloads: Optional[Iterable[Any]] = None,
+    ) -> None:
+        """Insert many points, keys vectorized, each routed to its shard.
+
+        Same contract as :meth:`SFCIndex.bulk_load` (the two share the
+        :func:`~repro.index.spatial.keyed_records` front half): extra
+        payloads are ignored, running out of payloads mid-load is an
+        error.
+        """
+        entries = keyed_records(self._curve, points, payloads)
+        if not entries:
+            return
+        with self._lock:
+            for key, record in entries:
+                self._append_record(key, record)
+            self._invalidate_layout()
+
+    def delete(self, point: Sequence[int], payload: Any = None) -> bool:
+        """Remove one record matching ``point`` (and ``payload``, if given)."""
+        key = self._curve.index(point)
+        with self._lock:
+            shard_id = shard_of_key(self._planner.shards, key)
+            tree = self._trees[shard_id]
+            bucket = tree.get(key)
+            if not bucket:
+                return False
+            for i, record in enumerate(bucket):
+                if payload is None or record.payload == payload:
+                    bucket.pop(i)
+                    break
+            else:
+                return False
+            if not bucket:
+                tree.delete(key)
+            self._counts[shard_id] -= 1
+            self._invalidate_layout()
+            return True
+
+    def point_query(self, point: Sequence[int]) -> List[Record]:
+        """All records stored exactly at ``point`` (single-shard path)."""
+        key = self._curve.index(point)
+        with self._lock:
+            bucket = self._trees[shard_of_key(self._planner.shards, key)].get(key)
+            return list(bucket) if bucket else []
+
+    # ------------------------------------------------------------------
+    # Layout (shared storage, packed across shard boundaries)
+    # ------------------------------------------------------------------
+    def _invalidate_layout(self) -> None:
+        """Drop the flushed layout (callers hold the lock).
+
+        The retired executor's filter pool is closed; a query that
+        already snapshotted it finishes inline.
+        """
+        self._layout = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def flush(self) -> None:
+        """Lay every shard's records out on the shared disk in key order.
+
+        Shards are walked in shard order — which is global key order,
+        since shards are ascending intervals — and pages are packed
+        *across* shard boundaries by the same
+        :func:`~repro.index.spatial.pack_layout` the single index
+        flushes through, so the resulting layout is identical to the
+        one an unsharded index over the same records builds.  Bumps the
+        layout epoch and invalidates the plan cache.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.close()
+            layout = pack_layout(
+                self._disk,
+                self._page_capacity,
+                (
+                    (key, record)
+                    for tree in self._trees
+                    for key, bucket in tree.items()
+                    for record in bucket
+                ),
+            )
+            self._layout = layout
+            self._epoch += 1
+            if self._plan_cache is not None:
+                self._plan_cache.invalidate()
+            self._executor = ScatterGatherExecutor(
+                self._disk,
+                layout,
+                max_workers=self._max_workers,
+                io_lock=self._io_lock,
+            )
+
+    def _ensure_flushed(self) -> ScatterGatherExecutor:
+        """Executor for the current layout (callers hold the lock)."""
+        if self._layout is None or self._executor is None:
+            self.flush()
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self, num_shards: Optional[int] = None) -> Tuple[Shard, ...]:
+        """Re-cut the shard map at record-count quantiles and re-route.
+
+        Uses :func:`~repro.index.partition.balanced_shards` over every
+        stored key (weighted by record count) so each shard serves about
+        the same load; an empty index falls back to equal key ranges.
+        Returns the new shard map.
+        """
+        with self._lock:
+            target = num_shards if num_shards is not None else self.num_shards
+            entries: List[Tuple[int, List[Record]]] = []
+            keys: List[int] = []
+            for tree in self._trees:
+                for key, bucket in tree.items():
+                    entries.append((key, bucket))
+                    keys.extend([key] * len(bucket))
+            if keys:
+                shard_map = balanced_shards(keys, target, self._curve.size)
+            else:
+                shard_map = equal_key_shards(self._curve, target)
+            self._planner = ShardedPlanner(
+                self._curve,
+                shard_map,
+                cost_model=self._cost_model,
+                fanout_cost=self._fanout_cost,
+            )
+            self._trees = [BPlusTree(order=self._tree_order) for _ in shard_map]
+            self._counts = [0] * len(shard_map)
+            for key, bucket in entries:
+                shard_id = shard_of_key(shard_map, key)
+                self._trees[shard_id].insert(key, bucket)
+                self._counts[shard_id] += len(bucket)
+            self._invalidate_layout()
+            if self._plan_cache is not None:
+                self._plan_cache.invalidate()
+            return self._planner.shards
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        """Atomic (planner, layout, executor, epoch) for one generation.
+
+        Taken under the lock so planning and execution never mix layout
+        generations; everything expensive then runs outside the lock —
+        a consistent snapshot stays readable after a reflush because the
+        simulated disk is append-only.
+        """
+        with self._lock:
+            self._ensure_flushed()
+            return self._planner, self._layout, self._executor, self._epoch
+
+    def _plan_snapshot(
+        self,
+        planner: ShardedPlanner,
+        layout: PageLayout,
+        epoch: int,
+        rect: Rect,
+        policy: ExecutionPolicy,
+    ) -> ShardedPlan:
+        """Plan against one snapshot, memoized per ``(epoch, rect, policy)``.
+
+        The epoch in the cache key means a plan computed against an old
+        layout can never be served — or poison the cache — after a
+        reflush swaps the layout.
+        """
+        rect.check_fits(self._curve.side)
+        if self._plan_cache is None:
+            return planner.plan(rect, policy, layout=layout)
+        key = (epoch, self._curve, rect, policy)
+        splan = self._plan_cache.get(key)
+        if splan is None:
+            splan = planner.plan(rect, policy, layout=layout)
+            self._plan_cache.put(key, splan)
+        return splan
+
+    def plan(
+        self,
+        rect: Rect,
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> ShardedPlan:
+        """Scatter-plan ``rect`` against the current layout (cached)."""
+        if policy is None:
+            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        planner, layout, _, epoch = self._snapshot()
+        return self._plan_snapshot(planner, layout, epoch, rect, policy)
+
+    def explain(self, rect: Rect, gap_tolerance: int = 0) -> str:
+        """Shard-aware EXPLAIN for ``rect``."""
+        return self.plan(rect, gap_tolerance=gap_tolerance).explain()
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, rect: Rect, gap_tolerance: int = 0
+    ) -> ShardedRangeQueryResult:
+        """All records inside ``rect`` via scatter–gather execution.
+
+        Observationally identical to :meth:`SFCIndex.range_query` on the
+        same records — same record list, seeks and pages read — with the
+        per-shard breakdown and parallel cost attribution on top.  The
+        plan/executor snapshot is taken atomically (planning itself runs
+        outside the lock), so a query admitted after a flush always runs
+        against the new layout and never blocks writers while planning.
+        """
+        policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        planner, layout, executor, epoch = self._snapshot()
+        splan = self._plan_snapshot(planner, layout, epoch, rect, policy)
+        return executor.execute(splan)
+
+    def range_query_batch(
+        self,
+        rects: Sequence[Rect],
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> ShardedBatchResult:
+        """Execute a workload of rect queries as one key-ordered scan.
+
+        Canonical totals equal :meth:`SFCIndex.range_query_batch`; the
+        per-shard totals additionally share scans *per shard* across the
+        batch (a page a shard already served is free for it).  The whole
+        workload is planned against one atomic snapshot, outside the
+        index lock, so a large batch never stalls writers.
+        """
+        if policy is None:
+            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        planner, layout, executor, epoch = self._snapshot()
+        splans = [
+            self._plan_snapshot(planner, layout, epoch, rect, policy)
+            for rect in rects
+        ]
+        return executor.execute_batch(splans)

@@ -36,7 +36,80 @@ from ..storage.bplustree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 
-__all__ = ["Record", "RangeQueryResult", "SFCIndex"]
+__all__ = ["Record", "RangeQueryResult", "SFCIndex", "keyed_records", "pack_layout"]
+
+
+def keyed_records(
+    curve: SpaceFillingCurve,
+    points: Iterable[Sequence[int]],
+    payloads: Optional[Iterable[Any]] = None,
+) -> List[Tuple[int, Record]]:
+    """Pair ``points`` with ``payloads`` and key them under ``curve``.
+
+    The shared bulk-load front half — payload pairing rules (extras
+    ignored so infinite iterators work, exhaustion mid-load is an
+    error), dimension validation, and one vectorized ``index_many``
+    call — used by both the single and the sharded index so their
+    ingestion semantics can never drift apart.
+    """
+    cells: List[Tuple[int, ...]] = []
+    attached: List[Any] = []
+    if payloads is None:
+        cells = [tuple(int(c) for c in point) for point in points]
+        attached = [None] * len(cells)
+    else:
+        payload_iter = iter(payloads)
+        for point in points:
+            try:
+                payload = next(payload_iter)
+            except StopIteration:
+                raise InvalidQueryError(
+                    f"payloads exhausted after {len(cells)} points"
+                ) from None
+            cells.append(tuple(int(c) for c in point))
+            attached.append(payload)
+    if not cells:
+        return []
+    dim = curve.dim
+    if any(len(cell) != dim for cell in cells):
+        bad = next(cell for cell in cells if len(cell) != dim)
+        raise OutOfUniverseError(
+            f"cell {bad!r} outside {dim}-d universe of side {curve.side}"
+        )
+    keys = curve.index_many(np.asarray(cells, dtype=np.int64))
+    return [
+        (int(key), Record(cell, payload))
+        for key, cell, payload in zip(keys, cells, attached)
+    ]
+
+
+def pack_layout(
+    disk: SimulatedDisk,
+    page_capacity: int,
+    records: Iterable[Tuple[int, Record]],
+) -> PageLayout:
+    """Pack ``(key, record)`` pairs (ascending keys) into disk pages.
+
+    The single statement of the flush packing rule — pages filled to
+    ``page_capacity``, first/last keys recorded for binary-searchable
+    scans — shared by both indexes; the sharded index's
+    byte-identical-layout guarantee (and with it shard transparency)
+    rests on the two flush paths using this one function.
+    """
+    layout = PageLayout()
+    page: List[Tuple[int, Record]] = []
+    for key, record in records:
+        if not page:
+            layout.first_keys.append(key)
+        page.append((key, record))
+        if len(page) == page_capacity:
+            layout.last_keys.append(key)
+            layout.page_ids.append(disk.allocate(page))
+            page = []
+    if page:
+        layout.last_keys.append(page[-1][0])
+        layout.page_ids.append(disk.allocate(page))
+    return layout
 
 
 class SFCIndex:
@@ -157,34 +230,12 @@ class SFCIndex:
         (extras ignored, so infinite iterators work) but running out of
         payloads mid-load is an error, not silent truncation.
         """
-        cells: List[Tuple[int, ...]] = []
-        attached: List[Any] = []
-        if payloads is None:
-            cells = [tuple(int(c) for c in point) for point in points]
-            attached = [None] * len(cells)
-        else:
-            payload_iter = iter(payloads)
-            for point in points:
-                try:
-                    payload = next(payload_iter)
-                except StopIteration:
-                    raise InvalidQueryError(
-                        f"payloads exhausted after {len(cells)} points"
-                    ) from None
-                cells.append(tuple(int(c) for c in point))
-                attached.append(payload)
-        if not cells:
+        entries = keyed_records(self._curve, points, payloads)
+        if not entries:
             return
-        dim = self._curve.dim
-        if any(len(cell) != dim for cell in cells):
-            bad = next(cell for cell in cells if len(cell) != dim)
-            raise OutOfUniverseError(
-                f"cell {bad!r} outside {dim}-d universe of side {self._curve.side}"
-            )
-        keys = self._curve.index_many(np.asarray(cells, dtype=np.int64))
-        for key, cell, payload in zip(keys, cells, attached):
-            self._append_record(int(key), Record(cell, payload))
-        self._count += len(cells)
+        for key, record in entries:
+            self._append_record(key, record)
+        self._count += len(entries)
         self._invalidate_layout()
 
     def delete(self, point: Sequence[int], payload: Any = None) -> bool:
@@ -229,20 +280,15 @@ class SFCIndex:
         buffer pool and the plan cache are invalidated — both refer to
         the previous layout.
         """
-        layout = PageLayout()
-        page: List[Tuple[int, Record]] = []
-        for key, bucket in self._tree.items():
-            for record in bucket:
-                if not page:
-                    layout.first_keys.append(key)
-                page.append((key, record))
-                if len(page) == self._page_capacity:
-                    layout.last_keys.append(key)
-                    layout.page_ids.append(self._disk.allocate(page))
-                    page = []
-        if page:
-            layout.last_keys.append(page[-1][0])
-            layout.page_ids.append(self._disk.allocate(page))
+        layout = pack_layout(
+            self._disk,
+            self._page_capacity,
+            (
+                (key, record)
+                for key, bucket in self._tree.items()
+                for record in bucket
+            ),
+        )
         self._layout = layout
         if self._pool is not None:
             self._pool.invalidate()

@@ -11,8 +11,11 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.clustering import clustering_number
+from repro.core.runs import merge_runs_with_gaps, query_runs
 from repro.curves import make_curve
+from repro.engine.scatter import clip_runs
 from repro.geometry import Rect
+from repro.index import average_shards_touched, equal_key_shards, shards_touched
 
 CURVE_NAMES = ["onion", "hilbert", "zorder", "gray", "snake", "rowmajor"]
 
@@ -21,6 +24,18 @@ def _random_rect(rng, side, dim):
     lo = rng.integers(0, side, size=dim)
     hi = np.minimum(lo + rng.integers(0, side, size=dim), side - 1)
     return Rect(tuple(lo), tuple(hi))
+
+
+def _refine(shards):
+    """Split every splittable shard at its midpoint (a strict refinement)."""
+    refined = []
+    for lo, hi in shards:
+        if hi > lo:
+            mid = (lo + hi) // 2
+            refined.extend([(lo, mid), (mid + 1, hi)])
+        else:
+            refined.append((lo, hi))
+    return refined
 
 
 class TestSplitSubadditivity:
@@ -79,6 +94,58 @@ class TestBounds:
         curve = make_curve(name, 16, 2)
         rect = Rect((0, 7), (15, 7))
         assert clustering_number(curve, rect) <= 16
+
+
+class TestShardRefinement:
+    """Sharding is a *view* over the key runs: cutting the key space into
+    finer shards must never change what the query is — clipping the runs
+    to any shard map and gluing the clips back together reconstructs the
+    runs exactly, so the clustering number is invariant under
+    shard-boundary refinement; and finer maps can only *increase* how
+    many shards a query touches.  All seeded so failures reproduce."""
+
+    @given(st.sampled_from(CURVE_NAMES), st.integers(0, 2**31))
+    def test_clustering_invariant_under_shard_refinement(self, name, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve(name, 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        runs = query_runs(curve, rect)
+        shards = equal_key_shards(curve, int(rng.integers(1, 9)))
+        for _ in range(3):  # refine the boundaries, re-glue, compare
+            clipped = [run for shard in shards for run in clip_runs(runs, shard)]
+            reconstructed = merge_runs_with_gaps(clipped, 0)
+            assert reconstructed == runs, (name, seed, shards)
+            assert len(reconstructed) == clustering_number(curve, rect)
+            shards = _refine(shards)
+
+    @given(st.sampled_from(CURVE_NAMES), st.integers(0, 2**31))
+    def test_shards_touched_monotone_under_refinement(self, name, seed):
+        rng = np.random.default_rng(seed)
+        curve = make_curve(name, 16, 2)
+        rect = _random_rect(rng, 16, 2)
+        shards = equal_key_shards(curve, int(rng.integers(1, 5)))
+        previous = len(shards_touched(curve, rect, shards))
+        for _ in range(4):
+            shards = _refine(shards)
+            touched = len(shards_touched(curve, rect, shards))
+            assert touched >= previous, (name, seed, shards)
+            previous = touched
+
+    @given(st.integers(0, 2**31))
+    def test_average_shards_touched_monotone_in_num_shards(self, seed):
+        """Along a refinement chain (1, 2, 4, 8, ... shards) the workload
+        mean is non-decreasing: every query's touched set can only grow
+        when a shard it intersects is split."""
+        rng = np.random.default_rng(seed)
+        curve = make_curve("hilbert", 16, 2)
+        rects = [_random_rect(rng, 16, 2) for _ in range(10)]
+        shards = equal_key_shards(curve, 1)
+        averages = []
+        for _ in range(4):
+            averages.append(average_shards_touched(curve, rects, shards))
+            shards = _refine(shards)
+        assert averages == sorted(averages), (seed, averages)
+        assert averages[0] == 1.0  # one shard: every query touches exactly it
 
 
 class TestSymmetry:

@@ -1,0 +1,47 @@
+"""The sharded serving experiment: fig7 workloads scattered over shards."""
+
+from repro.experiments import sharded_io
+from repro.experiments.cli import main
+from repro.experiments.config import SCALES
+
+
+class TestShardedIo:
+    def test_every_row_is_transparent(self):
+        result = sharded_io.run(SCALES["ci"], dim=2)
+        assert result.column("same as unsharded")
+        assert all(flag == "yes" for flag in result.column("same as unsharded"))
+        assert any("identical to unsharded" in note for note in result.notes)
+
+    def test_seeks_do_not_depend_on_shard_count(self):
+        result = sharded_io.run(SCALES["ci"], dim=2)
+        by_curve = {}
+        for curve, seeks in zip(result.column("curve"), result.column("batch seeks")):
+            by_curve.setdefault(curve, set()).add(seeks)
+        for curve, seek_values in by_curve.items():
+            assert len(seek_values) == 1, (curve, seek_values)
+
+    def test_parallel_latency_improves_with_shards(self):
+        result = sharded_io.run(SCALES["ci"], dim=2)
+        for curve in ("onion", "hilbert"):
+            rows = [
+                (shards, speedup)
+                for c, shards, speedup in zip(
+                    result.column("curve"),
+                    result.column("shards"),
+                    result.column("speedup"),
+                )
+                if c == curve
+            ]
+            speedups = [s for _, s in sorted(rows)]
+            assert speedups[0] == 1
+            assert speedups[-1] > 1.5, (curve, speedups)
+
+    def test_3d_variant_runs(self):
+        result = sharded_io.run(SCALES["ci"], dim=3)
+        assert result.experiment == "shardedb"
+        assert result.rows
+
+    def test_registered_in_cli(self, capsys):
+        assert main(["sharded", "--dim", "2", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "shardeda" in out and "avg fan-out" in out

@@ -56,6 +56,49 @@ class TestBalancedShards:
         with pytest.raises(InvalidQueryError):
             balanced_shards([], 2, 64)
 
+    def test_small_sample_splits_instead_of_emptying_a_shard(self):
+        """Regression: the cut rank used to land *on* the final key, pulling
+        the whole sample into the first shard ([(0, 63)] for this input)."""
+        assert balanced_shards([0, 63], 2, 64) == [(0, 0), (1, 63)]
+        shards = balanced_shards([5, 10, 20, 30], 2, 64)
+        loads = [sum(1 for k in (5, 10, 20, 30) if s <= k <= e) for s, e in shards]
+        assert loads == [2, 2]
+
+    def test_keys_outside_key_space_rejected(self):
+        """Regression: a key >= key_space silently produced a shard map
+        extending past the domain (end 100 in a 64-key space)."""
+        with pytest.raises(InvalidQueryError):
+            balanced_shards([100], 2, 64)
+        with pytest.raises(InvalidQueryError):
+            balanced_shards([-1, 5], 2, 64)
+
+    def test_more_shards_than_keys_degrades_gracefully(self):
+        # One sampled key cannot be split: a single covering shard.
+        assert balanced_shards([5], 4, 64) == [(0, 63)]
+        # Two keys, five shards: one cut, both shards non-empty.
+        shards = balanced_shards([5, 9], 5, 64)
+        assert shards == [(0, 5), (6, 63)]
+        assert len(shards) <= 5
+
+    def test_more_shards_than_distinct_keys(self):
+        shards = balanced_shards([7] * 10, 4, 64)
+        assert shards[0][0] == 0 and shards[-1][1] == 63
+        for (_, prev_end), (next_start, _) in zip(shards, shards[1:]):
+            assert next_start == prev_end + 1
+
+    def test_every_map_covers_and_is_contiguous(self, rng):
+        for _ in range(25):
+            size = int(rng.integers(1, 40))
+            num = int(rng.integers(1, 12))
+            keys = rng.integers(0, 256, size=size).tolist()
+            shards = balanced_shards(keys, num, 256)
+            assert shards[0][0] == 0 and shards[-1][1] == 255
+            assert 1 <= len(shards) <= num
+            for (_, prev_end), (next_start, _) in zip(shards, shards[1:]):
+                assert next_start == prev_end + 1
+            for key in keys:  # every sampled key has a home shard
+                shard_of_key(shards, key)
+
 
 class TestShardLookup:
     def test_shard_of_key(self):
@@ -68,6 +111,24 @@ class TestShardLookup:
     def test_uncovered_key_rejected(self):
         with pytest.raises(InvalidQueryError):
             shard_of_key([(0, 9)], 10)
+
+    def test_every_boundary_key_resolves(self):
+        """Both endpoints of every shard resolve to that shard — the edge
+        the serving layer routes on."""
+        curve = make_curve("hilbert", 8, 2)
+        shards = equal_key_shards(curve, 5)
+        for shard_id, (lo, hi) in enumerate(shards):
+            assert shard_of_key(shards, lo) == shard_id
+            assert shard_of_key(shards, hi) == shard_id
+
+    def test_negative_and_past_end_keys_rejected(self):
+        shards = [(0, 9), (10, 19)]
+        with pytest.raises(InvalidQueryError):
+            shard_of_key(shards, -1)
+        with pytest.raises(InvalidQueryError):
+            shard_of_key(shards, 20)
+        with pytest.raises(InvalidQueryError):
+            shard_of_key([], 0)
 
 
 class TestShardsTouched:
@@ -93,6 +154,23 @@ class TestShardsTouched:
             keys = curve.index_many(rect.cells_array())
             expected = {shard_of_key(shards, int(k)) for k in keys}
             assert shards_touched(curve, rect, shards) == expected
+
+    def test_runs_ending_exactly_on_shard_boundaries(self):
+        """A key run that starts or ends exactly on a shard's boundary key
+        must touch that shard and not its neighbour."""
+        curve = make_curve("rowmajor", 8, 2)  # key = 8*y + x: runs are rows
+        shards = [(0, 7), (8, 23), (24, 63)]
+        # Row y=0 is keys [0, 7]: exactly shard 0.
+        assert shards_touched(curve, Rect((0, 0), (7, 0)), shards) == {0}
+        # Keys {7, 15}: one run ends on shard 0's last key, the other sits
+        # in shard 1 — both shards, nothing else.
+        assert shards_touched(curve, Rect((7, 0), (7, 1)), shards) == {0, 1}
+        # Row y=1 is keys [8, 15], starting on shard 1's first key.
+        assert shards_touched(curve, Rect((0, 1), (7, 1)), shards) == {1}
+        # Row y=2 ends at key 23, the last key of shard 1.
+        assert shards_touched(curve, Rect((0, 2), (7, 2)), shards) == {1}
+        # Row y=3 starts at key 24, the first key of shard 2.
+        assert shards_touched(curve, Rect((0, 3), (7, 3)), shards) == {2}
 
     def test_average(self):
         curve = make_curve("onion", 8, 2)

@@ -71,6 +71,23 @@ class TestBatchCommand:
         assert "batched:" in out
         assert "plan cache:" in out
 
+    def test_batch_with_shards_reports_fanout(self, capsys):
+        assert main(["batch", "--curve", "onion", "--side", "16",
+                     "--count", "40", "--points", "300", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded:" in out
+        assert "4 shards" in out
+        assert "avg fan-out" in out
+
+    def test_explain_with_shards_is_shard_aware(self, capsys):
+        assert main(["explain", "--curve", "onion", "--side", "16",
+                     "--lo", "2,3", "--hi", "10,11", "--points", "400",
+                     "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ShardedPlan" in out
+        assert "touched of 4" in out
+        assert "executed:" in out
+
 
 class TestRenderCommand:
     def test_render_keys(self, capsys):

@@ -34,6 +34,9 @@ class TestExamples:
         proc = run_example("distributed_partitioning.py")
         assert proc.returncode == 0, proc.stderr
         assert "shards" in proc.stdout
+        assert "transparency check" in proc.stdout
+        assert "ShardedPlan" in proc.stdout
+        assert "rebalanced shard loads" in proc.stdout
 
     def test_curve_gallery(self):
         proc = run_example("curve_gallery.py")

@@ -18,6 +18,9 @@ PUBLIC_MODULES = [
     "repro.engine.planner",
     "repro.engine.cache",
     "repro.engine.executor",
+    "repro.engine.scatter",
+    "repro.index.partition",
+    "repro.index.sharded",
     "repro.experiments",
     "repro.geometry",
     "repro.errors",
