@@ -16,6 +16,11 @@ The package provides:
   pricing, an LRU :class:`PlanCache`, key-ordered batch execution, and
   the scatter–gather serving half (:class:`ShardedPlanner`,
   :class:`ScatterGatherExecutor`) behind :class:`ShardedSFCIndex`;
+* :mod:`repro.adaptive` — the workload-adaptive control plane: live
+  query-shape telemetry (:class:`WorkloadRecorder`), drift detection
+  against the exact advisor (:class:`DriftDetector`), and online curve
+  migration with epoch cutover (:class:`OnlineMigrator`,
+  :class:`AdaptiveController`);
 * :mod:`repro.experiments` — regeneration of every table and figure.
 
 Quickstart::
@@ -84,9 +89,16 @@ from .engine import (
 )
 from .errors import ReproError
 from .geometry import Rect
-from .index import SFCIndex, ShardedSFCIndex
+from .index import SFCIndex, ShardedSFCIndex, advise, advise_histogram
+from .adaptive import (
+    AdaptiveController,
+    DriftDetector,
+    MigrationReport,
+    OnlineMigrator,
+    WorkloadRecorder,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SpaceFillingCurve",
@@ -121,6 +133,13 @@ __all__ = [
     "ScatterGatherExecutor",
     "ShardedPlan",
     "ShardedPlanner",
+    "advise",
+    "advise_histogram",
+    "AdaptiveController",
+    "DriftDetector",
+    "MigrationReport",
+    "OnlineMigrator",
+    "WorkloadRecorder",
     "ReproError",
     "__version__",
 ]

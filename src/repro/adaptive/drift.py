@@ -1,0 +1,183 @@
+"""Workload-drift detection: when the incumbent curve stops being the right one.
+
+Lemma 10 is the reason this module exists: no curve is optimal for every
+query shape, so a workload that *drifts* — rows giving way to near-cubes,
+say — silently turns a well-chosen curve into a regretful one.  The
+:class:`DriftDetector` closes the loop the paper leaves open: every
+``check_interval`` executed queries it re-scores the recorder's decayed
+shape histogram against all registered candidate curves with
+:func:`repro.index.advisor.advise_histogram` and flags **drift** when the
+incumbent's expected seeks exceed the best candidate's by more than the
+configured regret threshold.
+
+Scoring is exact (the O(n) Lemma 1 sweep per (curve, shape)) but
+incremental: a ``(curve, shape) → cost`` memo lives on the detector, so
+steady-state checks cost a dictionary walk — only a never-seen shape
+pays a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..curves.base import SpaceFillingCurve
+from ..errors import InvalidQueryError
+from ..index.advisor import CurveScore, advise_histogram
+from .recorder import WorkloadRecorder
+
+__all__ = ["DriftDetector", "DriftReport"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check over the recorded shape mix."""
+
+    #: True when the best candidate beats the incumbent by more than the
+    #: regret threshold — the migration trigger.
+    drifted: bool
+    #: The incumbent's score over the current mix.
+    incumbent: CurveScore
+    #: The best-scoring curve over the current mix (may be the incumbent).
+    best: CurveScore
+    #: Fractional regret: ``incumbent/best − 1`` in expected seeks.
+    regret: float
+    #: The threshold the regret was compared against.
+    threshold: float
+    #: Full ranking, best first.
+    scores: Tuple[CurveScore, ...]
+    #: Executed observations behind the histogram at check time.
+    observations: int
+
+    def render(self) -> str:
+        """Human-readable drift report (one line per candidate)."""
+        verdict = (
+            f"DRIFT: {self.best.curve.name} beats {self.incumbent.curve.name} "
+            f"by {100 * self.regret:.1f}% (> {100 * self.threshold:.0f}%)"
+            if self.drifted
+            else f"steady: {self.incumbent.curve.name} within "
+            f"{100 * self.threshold:.0f}% of best ({self.best.curve.name})"
+        )
+        lines = [f"DriftReport over {self.observations} observations — {verdict}"]
+        for score in self.scores:
+            marker = " <- incumbent" if score.curve == self.incumbent.curve else ""
+            lines.append(
+                f"  {score.curve.name:<16} {score.expected_seeks:10.3f} "
+                f"expected seeks{marker}"
+            )
+        return "\n".join(lines)
+
+
+class DriftDetector:
+    """Periodically re-scores the live shape mix against candidate curves.
+
+    Parameters
+    ----------
+    candidates:
+        Curves the workload may migrate to.  All must share ``side`` and
+        ``dim`` (checked against the incumbent at :meth:`check` time).
+    regret_threshold:
+        Fractional headroom the incumbent is allowed: drift is flagged
+        when ``incumbent_seeks > (1 + threshold) * best_seeks``.
+    min_observations:
+        Executed queries required before the first check may run.
+    check_interval:
+        Executed queries between checks (:meth:`should_check` paces the
+        control loop without a timer thread — callers poll it from the
+        serving path or a cron).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[SpaceFillingCurve],
+        regret_threshold: float = 0.1,
+        min_observations: int = 32,
+        check_interval: int = 64,
+    ):
+        if not candidates:
+            raise InvalidQueryError("drift detection needs at least one candidate")
+        if regret_threshold < 0:
+            raise InvalidQueryError(
+                f"regret_threshold must be >= 0, got {regret_threshold}"
+            )
+        if min_observations < 1:
+            raise InvalidQueryError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        if check_interval < 1:
+            raise InvalidQueryError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self._candidates = tuple(candidates)
+        self._threshold = float(regret_threshold)
+        self._min_observations = int(min_observations)
+        self._check_interval = int(check_interval)
+        self._cache: Dict[Tuple[SpaceFillingCurve, Tuple[int, ...]], float] = {}
+        self._last_checked = 0
+
+    @property
+    def candidates(self) -> Tuple[SpaceFillingCurve, ...]:
+        """The registered candidate curves."""
+        return self._candidates
+
+    @property
+    def regret_threshold(self) -> float:
+        """Fractional regret above which drift is flagged."""
+        return self._threshold
+
+    @property
+    def check_interval(self) -> int:
+        """Executed queries between checks."""
+        return self._check_interval
+
+    @property
+    def min_observations(self) -> int:
+        """Executed queries required before the first check."""
+        return self._min_observations
+
+    @property
+    def cache_size(self) -> int:
+        """Memoized (curve, shape) cost pairs (incremental-scoring state)."""
+        return len(self._cache)
+
+    def should_check(self, recorder: WorkloadRecorder) -> bool:
+        """Is another check due for ``recorder``'s current event count?"""
+        events = recorder.executed_events
+        if events < self._last_checked:
+            # The recorder was cleared (new era); restart the pacing.
+            self._last_checked = 0
+        if events < self._min_observations:
+            return False
+        return events - self._last_checked >= self._check_interval
+
+    def check(
+        self,
+        recorder: WorkloadRecorder,
+        incumbent: SpaceFillingCurve,
+    ) -> DriftReport:
+        """Score the recorded mix and report whether the incumbent drifted."""
+        histogram = recorder.histogram()
+        if not histogram:
+            raise InvalidQueryError("no executed observations to score")
+        curves: List[SpaceFillingCurve] = [incumbent]
+        for candidate in self._candidates:
+            if candidate != incumbent:
+                curves.append(candidate)
+        scores = advise_histogram(curves, histogram, cache=self._cache)
+        incumbent_score = next(s for s in scores if s.curve == incumbent)
+        best = scores[0]
+        if best.expected_seeks > 0:
+            regret = incumbent_score.expected_seeks / best.expected_seeks - 1.0
+        else:
+            regret = 0.0
+        drifted = best.curve != incumbent and regret > self._threshold
+        self._last_checked = recorder.executed_events
+        return DriftReport(
+            drifted=drifted,
+            incumbent=incumbent_score,
+            best=best,
+            regret=regret,
+            threshold=self._threshold,
+            scores=tuple(scores),
+            observations=recorder.executed_events,
+        )

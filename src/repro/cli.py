@@ -13,6 +13,12 @@ Commands::
                                           batched vs query-at-a-time I/O
                                           (``--shards`` serves through the
                                           scatter-gather sharded layer)
+    advise --side S --shapes 32x1:5,20x20:1
+                                          rank curves by exact expected
+                                          seeks over a workload spec
+    migrate --curve NAME --to NAME|auto --shapes SPEC [--shards N]
+                                          replay a workload, migrate the
+                                          index online, compare seeks
     render --curve NAME --side S [--mode keys|path]
                                           ASCII picture of the curve
     experiments …                         the experiment harness
@@ -27,13 +33,16 @@ from typing import List
 
 import numpy as np
 
+from .adaptive import DriftDetector, OnlineMigrator, WorkloadRecorder
 from .core.clustering import clustering_number
 from .core.queries import random_cubes
 from .core.runs import query_runs
 from .curves import curve_names, make_curve
+from .errors import InvalidQueryError
 from .experiments.cli import main as experiments_main
+from .experiments.report import format_table
 from .geometry import Rect
-from .index import SFCIndex, ShardedSFCIndex
+from .index import SFCIndex, ShardedSFCIndex, advise
 from .visualize import render_clusters, render_keys, render_path
 
 __all__ = ["main"]
@@ -41,6 +50,34 @@ __all__ = ["main"]
 
 def _parse_cell(text: str) -> tuple:
     return tuple(int(v) for v in text.split(","))
+
+
+def _parse_shapes(text: str):
+    """Parse a workload spec like ``32x1:5,20x20:1`` into (shapes, weights).
+
+    Each comma-separated entry is per-dimension lengths joined by ``x``,
+    optionally followed by ``:weight`` (default 1).
+    """
+    shapes, weights = [], []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        body, _, weight = entry.partition(":")
+        shape = tuple(int(v) for v in body.split("x"))
+        value = float(weight) if weight else 1.0
+        if not value > 0:  # also rejects NaN
+            raise InvalidQueryError(
+                f"shape weight must be positive, got {entry!r}"
+            )
+        shapes.append(shape)
+        weights.append(value)
+    if not shapes:
+        raise InvalidQueryError(f"no shapes in workload spec {text!r}")
+    dim = len(shapes[0])
+    if any(len(shape) != dim for shape in shapes):
+        raise InvalidQueryError(f"shapes must share a dimension: {text!r}")
+    return shapes, weights
 
 
 def _add_curve_args(parser: argparse.ArgumentParser) -> None:
@@ -64,8 +101,8 @@ def _add_index_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_index(args: argparse.Namespace):
-    """An index over random points, for the explain/batch commands.
+def _build_index(args: argparse.Namespace, recorder=None):
+    """An index over random points, for the explain/batch/migrate commands.
 
     ``--shards N`` (N > 1) builds the scatter–gather sharded layer
     instead; its query surface is a drop-in for the single index.
@@ -73,10 +110,13 @@ def _build_index(args: argparse.Namespace):
     curve = make_curve(args.curve, args.side, args.dim)
     if args.shards > 1:
         index = ShardedSFCIndex(
-            curve, num_shards=args.shards, page_capacity=args.page_capacity
+            curve,
+            num_shards=args.shards,
+            page_capacity=args.page_capacity,
+            recorder=recorder,
         )
     else:
-        index = SFCIndex(curve, page_capacity=args.page_capacity)
+        index = SFCIndex(curve, page_capacity=args.page_capacity, recorder=recorder)
     rng = np.random.default_rng(args.seed)
     count = min(args.points, curve.size)
     index.bulk_load(rng.integers(0, args.side, size=(count, args.dim)))
@@ -130,6 +170,49 @@ def main(argv: List[str] = None) -> int:
         "--length", type=int, default=0, help="cube side (default: side // 4)"
     )
 
+    advise_p = sub.add_parser(
+        "advise", help="rank curves by exact expected seeks over a workload"
+    )
+    advise_p.add_argument("--side", type=int, default=32)
+    advise_p.add_argument(
+        "--curves",
+        default="onion,hilbert,rowmajor,zorder",
+        help="comma-separated candidate curve names",
+    )
+    advise_p.add_argument(
+        "--shapes",
+        required=True,
+        help="workload spec: per-dim lengths joined by 'x', optional "
+        "':weight', comma-separated (e.g. 32x1:5,20x20:1)",
+    )
+
+    migrate_p = sub.add_parser(
+        "migrate", help="replay a workload, migrate the index online, compare seeks"
+    )
+    _add_curve_args(migrate_p)
+    _add_index_args(migrate_p)
+    migrate_p.add_argument(
+        "--to",
+        required=True,
+        help="target curve name, or 'auto' to let the drift detector pick",
+    )
+    migrate_p.add_argument(
+        "--shapes",
+        default="",
+        help="workload spec replayed before and after the migration "
+        "(default: one near-cube of side//2)",
+    )
+    migrate_p.add_argument("--queries", type=int, default=60)
+    migrate_p.add_argument(
+        "--regret",
+        type=float,
+        default=0.1,
+        help="regret threshold for --to auto drift detection",
+    )
+    migrate_p.add_argument(
+        "--batch-size", type=int, default=4096, help="records re-keyed per batch"
+    )
+
     render_p = sub.add_parser("render", help="ASCII picture of a curve")
     _add_curve_args(render_p)
     render_p.add_argument("--mode", choices=("keys", "path"), default="keys")
@@ -139,6 +222,31 @@ def main(argv: List[str] = None) -> int:
     if args.command == "curves":
         for name in curve_names():
             print(name)
+        return 0
+
+    if args.command == "advise":
+        shapes, weights = _parse_shapes(args.shapes)
+        dim = len(shapes[0])
+        candidates = [
+            make_curve(name.strip(), args.side, dim)
+            for name in args.curves.split(",")
+            if name.strip()
+        ]
+        scores = advise(candidates, shapes, weights)
+        headers = ["rank", "curve", "expected seeks"] + [
+            "x".join(str(l) for l in shape) for shape in shapes
+        ]
+        rows = [
+            (i + 1, score.curve.name, round(score.expected_seeks, 3))
+            + tuple(round(score.per_shape[shape], 3) for shape in shapes)
+            for i, score in enumerate(scores)
+        ]
+        print(
+            f"curve ranking over {len(shapes)} shape(s), side {args.side}, "
+            f"dim {dim} (exact expected seeks, Lemma 1)"
+        )
+        print(format_table(headers, rows))
+        print(f"winner: {scores[0].curve.name}")
         return 0
 
     curve = make_curve(args.curve, args.side, args.dim)
@@ -206,6 +314,63 @@ def main(argv: List[str] = None) -> int:
                 f"{cache.stats.lookups} lookups "
                 f"({100 * cache.stats.hit_rate:.0f}% across both passes)"
             )
+        return 0
+    if args.command == "migrate":
+        if args.shapes:
+            shapes, weights = _parse_shapes(args.shapes)
+            if len(shapes[0]) != args.dim:
+                raise InvalidQueryError(
+                    f"--shapes dimension {len(shapes[0])} != --dim {args.dim}"
+                )
+            for shape in shapes:
+                if any(not 1 <= length <= args.side for length in shape):
+                    raise InvalidQueryError(
+                        f"shape {'x'.join(map(str, shape))} does not fit "
+                        f"side {args.side}"
+                    )
+        else:
+            shapes, weights = [(max(1, args.side // 2),) * args.dim], [1.0]
+        recorder = WorkloadRecorder()
+        index = _build_index(args, recorder=recorder)
+        rng = np.random.default_rng(args.seed + 1)
+        probabilities = np.asarray(weights) / float(sum(weights))
+        rects = []
+        for pick in rng.choice(len(shapes), size=args.queries, p=probabilities):
+            shape = shapes[pick]
+            origin = [
+                int(rng.integers(0, args.side - length + 1)) for length in shape
+            ]
+            rects.append(Rect.from_origin(origin, shape))
+        before = sum(
+            index.range_query(rect, gap_tolerance=args.gap).seeks for rect in rects
+        )
+        print(
+            f"{len(index)} random points on {index.curve!r}"
+            + (f", {index.num_shards} shards" if args.shards > 1 else "")
+        )
+        print(f"before migration: {before} seeks over {len(rects)} queries")
+        if args.to == "auto":
+            candidates = [
+                make_curve(name, args.side, args.dim)
+                for name in ("onion", "hilbert", "rowmajor")
+            ]
+            detector = DriftDetector(
+                candidates, regret_threshold=args.regret, min_observations=1,
+                check_interval=1,
+            )
+            report = detector.check(recorder, index.curve)
+            print(report.render())
+            target = report.best.curve
+        else:
+            target = make_curve(args.to, args.side, args.dim)
+        migration = OnlineMigrator(batch_size=args.batch_size).migrate(index, target)
+        print(migration.render())
+        after = sum(
+            index.range_query(rect, gap_tolerance=args.gap).seeks for rect in rects
+        )
+        print(f"after migration:  {after} seeks over {len(rects)} queries")
+        if after:
+            print(f"seek reduction:   {before / after:.2f}x")
         return 0
     if args.command == "render":
         renderer = render_keys if args.mode == "keys" else render_path

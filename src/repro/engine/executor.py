@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..geometry import Cell
+from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .plan import PageLayout, QueryPlan
@@ -172,7 +173,18 @@ class Executor:
         The flushed :class:`PageLayout` the plans' spans refer to.
     reader:
         Page reader — ``disk.read``, or a buffer pool's ``read`` so warm
-        pages never reach the disk.  Defaults to ``disk.read``.
+        pages never reach the disk.  Defaults to the ``pool``'s reader
+        when one is given, else ``disk.read``.
+    pool:
+        Optional :class:`~repro.storage.buffer.BufferPool` serving warm
+        pages.  Beyond supplying the default reader, a pool lets the
+        executor report *cold misses* per query — the seeks that
+        actually reached the disk — which is what the adaptive layer
+        judges migrations on (a warm cache hides bad clustering; cold
+        misses do not).
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder`: every
+        executed plan reports its shape and realized I/O profile.
     """
 
     def __init__(
@@ -180,15 +192,35 @@ class Executor:
         disk: SimulatedDisk,
         layout: PageLayout,
         reader: Optional[Callable[[int], Any]] = None,
+        pool: Optional[BufferPool] = None,
+        recorder=None,
     ):
         self._disk = disk
         self._layout = layout
-        self._reader = reader if reader is not None else disk.read
+        if reader is None:
+            reader = pool.read if pool is not None else disk.read
+        self._reader = reader
+        self._pool = pool
+        # Cold misses are only meaningful when the pool actually sits in
+        # the read path; an explicit reader bypassing it must report
+        # None, not a fictitious "fully warm" zero.
+        self._pool_in_path = pool is not None and reader == pool.read
+        self._recorder = recorder
 
     @property
     def layout(self) -> PageLayout:
         """The page layout this executor scans."""
         return self._layout
+
+    @property
+    def pool(self) -> Optional[BufferPool]:
+        """The buffer pool absorbing warm reads, when configured."""
+        return self._pool
+
+    @property
+    def recorder(self):
+        """The workload recorder executions report to (or None)."""
+        return self._recorder
 
     def execute(
         self,
@@ -209,6 +241,7 @@ class Executor:
         stats = self._disk.stats
         seeks_before = stats.seeks
         seq_before = stats.sequential_reads
+        misses_before = self._pool.stats.misses if self._pool_in_path else 0
         reader = self._reader
         records: List[Record] = []
         over_read = 0
@@ -216,13 +249,27 @@ class Executor:
             for position in range(first, last + 1):
                 page = read_page(reader, layout.page_ids[position], _page_cache)
                 over_read += scan_page(page, start, end, rect, records)
-        return RangeQueryResult(
+        result = RangeQueryResult(
             records=records,
             runs=len(plan.scan_runs),
             seeks=stats.seeks - seeks_before,
             sequential_reads=stats.sequential_reads - seq_before,
             over_read=over_read,
         )
+        if self._recorder is not None:
+            self._recorder.record_executed(
+                plan.rect.lengths,
+                seeks=result.seeks,
+                pages=result.pages_read,
+                records=len(records),
+                over_read=over_read,
+                cold_misses=(
+                    self._pool.stats.misses - misses_before
+                    if self._pool_in_path
+                    else None
+                ),
+            )
+        return result
 
     def execute_batch(self, plans: Sequence[QueryPlan]) -> BatchResult:
         """Run a workload of plans as one shared, key-ordered scan.

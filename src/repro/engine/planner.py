@@ -90,6 +90,11 @@ class Planner:
         rects up to that volume use the bulk ``index_many`` run
         construction when the curve ships a vectorized kernel; ``0``
         disables the fast path entirely.
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder`: every built
+        plan is reported (shape + predicted seeks) so the adaptive
+        control plane sees what gets planned.  Cache hits bypass the
+        planner, so executed-query telemetry comes from the executors.
     """
 
     def __init__(
@@ -97,10 +102,12 @@ class Planner:
         curve: SpaceFillingCurve,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         vectorize_volume_max: Optional[int] = None,
+        recorder=None,
     ):
         self._curve = curve
         self._cost_model = cost_model
         self._vectorize_volume_max = vectorize_volume_max
+        self._recorder = recorder
         # Only curves that override the base (loop-based) kernel benefit
         # from the O(volume) bulk path.
         self._has_vector_kernel = (
@@ -117,6 +124,11 @@ class Planner:
     def cost_model(self) -> CostModel:
         """The cost model attached to produced plans."""
         return self._cost_model
+
+    @property
+    def recorder(self):
+        """The workload recorder planning events report to (or None)."""
+        return self._recorder
 
     def _use_vectorized(self, rect: Rect) -> bool:
         """Route ``rect`` through the O(volume) bulk path?"""
@@ -195,7 +207,7 @@ class Planner:
             if layout is not None
             else None
         )
-        return QueryPlan(
+        plan = QueryPlan(
             curve=self._curve,
             rect=rect,
             policy=policy,
@@ -204,6 +216,9 @@ class Planner:
             page_spans=page_spans,
             cost_model=self._cost_model,
         )
+        if self._recorder is not None:
+            self._recorder.record_planned(plan)
+        return plan
 
     def plan_many(
         self,

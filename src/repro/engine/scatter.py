@@ -49,6 +49,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..curves.base import SpaceFillingCurve
 from ..errors import InvalidQueryError
 from ..geometry import Rect
+from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk, replay_reads
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .executor import (
@@ -344,6 +345,9 @@ class ShardedPlanner:
     fanout_cost:
         Simulated cost of contacting one shard (see
         :data:`DEFAULT_FANOUT_COST`).
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder` the inner
+        planner reports built plans to.
     """
 
     def __init__(
@@ -352,12 +356,13 @@ class ShardedPlanner:
         shards: Sequence[Shard],
         cost_model: CostModel = DEFAULT_COST_MODEL,
         fanout_cost: float = DEFAULT_FANOUT_COST,
+        recorder=None,
     ):
         self._shards = _validated_shards(shards, curve.size)
         if fanout_cost < 0:
             raise InvalidQueryError(f"fanout_cost must be >= 0, got {fanout_cost}")
         self._fanout_cost = float(fanout_cost)
-        self._planner = Planner(curve, cost_model=cost_model)
+        self._planner = Planner(curve, cost_model=cost_model, recorder=recorder)
 
     @property
     def curve(self) -> SpaceFillingCurve:
@@ -480,6 +485,16 @@ class ScatterGatherExecutor:
         The global flushed page layout.
     reader:
         Page reader (``disk.read`` or a buffer pool's ``read``).
+        Defaults to the ``pool``'s reader when one is given, else
+        ``disk.read``.
+    pool:
+        Optional :class:`~repro.storage.buffer.BufferPool` serving warm
+        pages on the gather side; with one configured, executions also
+        report per-query *cold misses* (the reads that actually reached
+        the disk) to the recorder.
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder`: every
+        executed sharded plan reports its shape and realized I/O.
     max_workers:
         Thread-pool width for fragment filtering; ``None`` sizes the
         pool to the machine (CPU count, capped at 16), ``0``/``1``
@@ -502,12 +517,22 @@ class ScatterGatherExecutor:
         reader: Optional[Callable[[int], object]] = None,
         max_workers: Optional[int] = None,
         io_lock: Optional[threading.Lock] = None,
+        pool: Optional[BufferPool] = None,
+        recorder=None,
     ):
         if max_workers is not None and max_workers < 0:
             raise InvalidQueryError(f"max_workers must be >= 0, got {max_workers}")
         self._disk = disk
         self._layout = layout
-        self._reader = reader if reader is not None else disk.read
+        if reader is None:
+            reader = pool.read if pool is not None else disk.read
+        self._reader = reader
+        self._pool = pool
+        # Cold misses are only meaningful when the pool actually sits in
+        # the read path; an explicit reader bypassing it must report
+        # None, not a fictitious "fully warm" zero.
+        self._pool_in_path = pool is not None and reader == pool.read
+        self._recorder = recorder
         self._max_workers = max_workers
         self._width = (
             min(16, os.cpu_count() or 4) if max_workers is None else max_workers
@@ -527,6 +552,16 @@ class ScatterGatherExecutor:
         """Configured thread-pool width (None: one worker per fragment)."""
         return self._max_workers
 
+    @property
+    def pool(self) -> Optional[BufferPool]:
+        """The buffer pool absorbing warm gather reads, when configured."""
+        return self._pool
+
+    @property
+    def recorder(self):
+        """The workload recorder executions report to (or None)."""
+        return self._recorder
+
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
@@ -534,13 +569,14 @@ class ScatterGatherExecutor:
         self,
         plan: QueryPlan,
         page_cache: Optional[dict],
-    ) -> Tuple[Dict[int, object], int, int]:
+    ) -> Tuple[Dict[int, object], int, int, Optional[int]]:
         """Gather-side I/O: read the global plan's pages in key order.
 
         Returns the fetched pages plus the (seeks, sequential) charged —
         exactly what :meth:`Executor.execute` would charge, because the
         loop is the same: every page of every scan run, through the
-        shared batch ``page_cache`` when one is given.
+        shared batch ``page_cache`` when one is given — and the buffer
+        pool's cold misses during the pass (None without a pool).
         """
         layout = self._layout
         spans = resolved_spans(plan, layout)
@@ -550,13 +586,19 @@ class ScatterGatherExecutor:
             stats = self._disk.stats
             seeks_before = stats.seeks
             seq_before = stats.sequential_reads
+            misses_before = self._pool.stats.misses if self._pool_in_path else 0
             for (first, last) in spans:
                 for position in range(first, last + 1):
                     page_id = layout.page_ids[position]
                     pages[page_id] = read_page(reader, page_id, page_cache)
             seeks = stats.seeks - seeks_before
             sequential = stats.sequential_reads - seq_before
-        return pages, seeks, sequential
+            cold = (
+                self._pool.stats.misses - misses_before
+                if self._pool_in_path
+                else None
+            )
+        return pages, seeks, sequential, cold
 
     def _filter_fragment(
         self,
@@ -645,7 +687,7 @@ class ScatterGatherExecutor:
         page positions (aligned with ``splan.fragments``) so the batch
         path can replay per-shard streams without re-walking the spans.
         """
-        pages, seeks, sequential = self._charge_reads(splan.plan, _page_cache)
+        pages, seeks, sequential, cold = self._charge_reads(splan.plan, _page_cache)
         filtered = self._scatter(splan, pages)
         records: List[Record] = []
         over_read = 0
@@ -667,6 +709,15 @@ class ScatterGatherExecutor:
                     records=len(shard_records),
                     over_read=shard_over,
                 )
+            )
+        if self._recorder is not None:
+            self._recorder.record_executed(
+                splan.plan.rect.lengths,
+                seeks=seeks,
+                pages=seeks + sequential,
+                records=len(records),
+                over_read=over_read,
+                cold_misses=cold,
             )
         return ShardedRangeQueryResult(
             records=records,

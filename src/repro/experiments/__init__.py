@@ -1,6 +1,7 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
 from . import (
+    adaptive,
     distributions,
     engine_io,
     fig1,
@@ -23,6 +24,7 @@ from .report import ExperimentResult, format_table
 from .stats import BoxStats
 
 __all__ = [
+    "adaptive",
     "distributions",
     "engine_io",
     "gap_ablation",

@@ -13,6 +13,7 @@ import sys
 from typing import Callable, Dict, List
 
 from . import (
+    adaptive,
     distributions,
     engine_io,
     fig1,
@@ -35,6 +36,7 @@ from .config import SCALES, get_scale
 __all__ = ["main"]
 
 _DIMMED: Dict[str, Callable] = {
+    "adaptive": adaptive.run,
     "engine": engine_io.run,
     "fig5": fig5.run,
     "fig5-exact": distributions.run,

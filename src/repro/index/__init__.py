@@ -1,6 +1,6 @@
 """SFC-backed spatial indexing, partitioning and sharded serving."""
 
-from .advisor import CurveScore, advise
+from .advisor import CurveScore, advise, advise_histogram
 from .partition import (
     average_shards_touched,
     balanced_shards,
@@ -14,6 +14,7 @@ from .spatial import Record, RangeQueryResult, SFCIndex
 __all__ = [
     "CurveScore",
     "advise",
+    "advise_histogram",
     "Record",
     "RangeQueryResult",
     "SFCIndex",

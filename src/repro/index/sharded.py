@@ -36,6 +36,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..curves.base import SpaceFillingCurve
 from ..engine.cache import PlanCache
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
@@ -53,6 +55,7 @@ from ..engine.scatter import (
 from ..errors import InvalidQueryError
 from ..geometry import Rect
 from ..storage.bplustree import BPlusTree
+from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 from .partition import balanced_shards, equal_key_shards, shard_of_key
 from .spatial import keyed_records, pack_layout
@@ -87,6 +90,14 @@ class ShardedSFCIndex:
         Thread-pool width for per-shard record filtering (``None``:
         sized to the machine — CPU count, capped at 16; ``0``/``1``:
         filter inline).
+    buffer_pages:
+        LRU buffer-pool capacity in pages over the shared store (0
+        disables the pool).  With a pool, executions also report cold
+        misses — the seeks that reached the disk — which is what the
+        adaptive layer judges curve migrations on.
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder` observing
+        planned and executed queries (thread-safe, like the index).
     """
 
     def __init__(
@@ -100,6 +111,8 @@ class ShardedSFCIndex:
         shards: Optional[Sequence[Shard]] = None,
         fanout_cost: float = DEFAULT_FANOUT_COST,
         max_workers: Optional[int] = None,
+        buffer_pages: int = 0,
+        recorder=None,
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
@@ -109,19 +122,26 @@ class ShardedSFCIndex:
         self._cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self._fanout_cost = fanout_cost
         self._max_workers = max_workers
+        self._recorder = recorder
         shard_map = (
             list(shards) if shards is not None else equal_key_shards(curve, num_shards)
         )
         self._planner = ShardedPlanner(
-            curve, shard_map, cost_model=self._cost_model, fanout_cost=fanout_cost
+            curve,
+            shard_map,
+            cost_model=self._cost_model,
+            fanout_cost=fanout_cost,
+            recorder=recorder,
         )
         self._trees = [BPlusTree(order=tree_order) for _ in self._planner.shards]
         self._counts = [0] * len(self._planner.shards)
         self._disk = SimulatedDisk()
+        self._pool = BufferPool(self._disk, buffer_pages) if buffer_pages else None
         self._plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
         self._layout: Optional[PageLayout] = None
         self._executor: Optional[ScatterGatherExecutor] = None
         self._epoch = 0
+        self._version = 0
         self._lock = threading.RLock()
         # One I/O lock shared by every executor generation: a query that
         # snapshotted the previous executor must still serialize its
@@ -182,6 +202,21 @@ class ShardedSFCIndex:
         return self._epoch
 
     @property
+    def buffer_pool(self) -> Optional[BufferPool]:
+        """The LRU pool absorbing warm gather reads, when configured."""
+        return self._pool
+
+    @property
+    def recorder(self):
+        """The workload recorder observing this index's traffic (or None)."""
+        return self._recorder
+
+    @property
+    def _migration_lock(self):
+        """The lock the migration protocol's final attempt holds (re-entrant)."""
+        return self._lock
+
+    @property
     def shard_loads(self) -> Tuple[int, ...]:
         """Record count per shard (the balance ``rebalance`` restores)."""
         with self._lock:
@@ -192,7 +227,8 @@ class ShardedSFCIndex:
 
     def shard_of(self, point: Sequence[int]) -> int:
         """Id of the shard serving ``point``'s curve key."""
-        return shard_of_key(self._planner.shards, self._curve.index(point))
+        with self._lock:
+            return shard_of_key(self._planner.shards, self._curve.index(point))
 
     # ------------------------------------------------------------------
     # Updates (routed by shard_of_key)
@@ -208,10 +244,16 @@ class ShardedSFCIndex:
         self._counts[shard_id] += 1
 
     def insert(self, point: Sequence[int], payload: Any = None) -> None:
-        """Add a record at ``point``, routed to its shard's write path."""
-        key = self._curve.index(point)
+        """Add a record at ``point``, routed to its shard's write path.
+
+        The key is computed under the lock: a migration cutover may swap
+        the curve, and a key minted under the outgoing curve must never
+        land in the incoming curve's trees.
+        """
         with self._lock:
+            key = self._curve.index(point)
             self._append_record(key, Record(tuple(int(c) for c in point), payload))
+            self._version += 1
             self._invalidate_layout()
 
     def bulk_load(
@@ -226,18 +268,32 @@ class ShardedSFCIndex:
         payloads are ignored, running out of payloads mid-load is an
         error.
         """
-        entries = keyed_records(self._curve, points, payloads)
+        curve = self._curve
+        entries = keyed_records(curve, points, payloads)
         if not entries:
             return
         with self._lock:
+            if self._curve != curve:
+                # A migration cut over while we were keying outside the
+                # lock; re-key the already-validated cells (rare race).
+                cells = np.asarray([record.point for _, record in entries])
+                keys = self._curve.index_many(cells)
+                entries = [
+                    (int(key), record) for key, (_, record) in zip(keys, entries)
+                ]
             for key, record in entries:
                 self._append_record(key, record)
+            self._version += 1
             self._invalidate_layout()
 
     def delete(self, point: Sequence[int], payload: Any = None) -> bool:
-        """Remove one record matching ``point`` (and ``payload``, if given)."""
-        key = self._curve.index(point)
+        """Remove one record matching ``point`` (and ``payload``, if given).
+
+        Keyed under the lock, like :meth:`insert` — a stale-curve key
+        would silently miss (or hit the wrong) bucket after a cutover.
+        """
         with self._lock:
+            key = self._curve.index(point)
             shard_id = shard_of_key(self._planner.shards, key)
             tree = self._trees[shard_id]
             bucket = tree.get(key)
@@ -252,13 +308,14 @@ class ShardedSFCIndex:
             if not bucket:
                 tree.delete(key)
             self._counts[shard_id] -= 1
+            self._version += 1
             self._invalidate_layout()
             return True
 
     def point_query(self, point: Sequence[int]) -> List[Record]:
         """All records stored exactly at ``point`` (single-shard path)."""
-        key = self._curve.index(point)
         with self._lock:
+            key = self._curve.index(point)
             bucket = self._trees[shard_of_key(self._planner.shards, key)].get(key)
             return list(bucket) if bucket else []
 
@@ -300,16 +357,34 @@ class ShardedSFCIndex:
                     for record in bucket
                 ),
             )
-            self._layout = layout
-            self._epoch += 1
-            if self._plan_cache is not None:
-                self._plan_cache.invalidate()
-            self._executor = ScatterGatherExecutor(
-                self._disk,
-                layout,
-                max_workers=self._max_workers,
-                io_lock=self._io_lock,
-            )
+            self._install_layout(layout)
+
+    def _install_layout(self, layout: PageLayout) -> None:
+        """Make ``layout`` the served generation (callers hold the lock).
+
+        Bumps the epoch, drops everything referring to the previous
+        layout and binds a fresh executor.  The single statement of the
+        install protocol, shared by :meth:`flush` and the migration
+        cutover so the two paths cannot drift apart.  The pool is
+        cleared under the I/O lock: a query of the previous generation
+        may be mid-read through it, and BufferPool's check-then-access
+        is not atomic against a clear.
+        """
+        self._layout = layout
+        self._epoch += 1
+        if self._pool is not None:
+            with self._io_lock:
+                self._pool.invalidate()
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
+        self._executor = ScatterGatherExecutor(
+            self._disk,
+            layout,
+            max_workers=self._max_workers,
+            io_lock=self._io_lock,
+            pool=self._pool,
+            recorder=self._recorder,
+        )
 
     def _ensure_flushed(self) -> ScatterGatherExecutor:
         """Executor for the current layout (callers hold the lock)."""
@@ -345,6 +420,7 @@ class ShardedSFCIndex:
                 shard_map,
                 cost_model=self._cost_model,
                 fanout_cost=self._fanout_cost,
+                recorder=self._recorder,
             )
             self._trees = [BPlusTree(order=self._tree_order) for _ in shard_map]
             self._counts = [0] * len(shard_map)
@@ -454,3 +530,85 @@ class ShardedSFCIndex:
             for rect in rects
         ]
         return executor.execute_batch(splans)
+
+    # ------------------------------------------------------------------
+    # Online migration (the adaptive control plane's data-plane hooks)
+    # ------------------------------------------------------------------
+    def _migration_snapshot(self) -> Tuple[int, List[Tuple[int, Record]]]:
+        """A consistent ``(version, [(key, record)])`` view of the contents.
+
+        Taken under the index lock, walking the shards in shard order —
+        which is global key order — so the snapshot is exactly what a
+        flush would pack.
+        """
+        with self._lock:
+            entries = [
+                (key, record)
+                for tree in self._trees
+                for key, bucket in tree.items()
+                for record in bucket
+            ]
+            return self._version, entries
+
+    def _migration_cutover(
+        self,
+        curve: SpaceFillingCurve,
+        keyed: List[Tuple[int, Record]],
+        expected_version: int,
+    ) -> bool:
+        """Atomically install records re-keyed under ``curve``.
+
+        ``keyed`` must be sorted ascending by new key.  Under the lock:
+        refuses (False) when writes landed since the snapshot; otherwise
+        every record is re-routed through the *current* shard map (key
+        intervals are curve-independent — the key space size is
+        unchanged), the shadow layout is packed across shard boundaries
+        by the same :func:`~repro.index.spatial.pack_layout` a fresh
+        bulk load flushes through — which is what keeps the migrated
+        index shard-transparent — and the epoch bump retires every
+        cached plan of the old generation.
+        """
+        with self._lock:
+            if self._version != expected_version:
+                return False
+            if self._executor is not None:
+                self._executor.close()
+            shard_map = self._planner.shards
+            trees = [BPlusTree(order=self._tree_order) for _ in shard_map]
+            counts = [0] * len(shard_map)
+            for key, record in keyed:
+                shard_id = shard_of_key(shard_map, key)
+                tree = trees[shard_id]
+                bucket = tree.get(key)
+                if bucket is None:
+                    tree.insert(key, [record])
+                else:
+                    bucket.append(record)
+                counts[shard_id] += 1
+            layout = pack_layout(self._disk, self._page_capacity, keyed)
+            self._curve = curve
+            self._planner = ShardedPlanner(
+                curve,
+                shard_map,
+                cost_model=self._cost_model,
+                fanout_cost=self._fanout_cost,
+                recorder=self._recorder,
+            )
+            self._trees = trees
+            self._counts = counts
+            self._install_layout(layout)
+            return True
+
+    def migrate_to(self, curve: SpaceFillingCurve, batch_size: int = 4096):
+        """Re-key every shard onto ``curve`` and cut over (online migration).
+
+        Convenience front end to
+        :class:`~repro.adaptive.OnlineMigrator`; returns its
+        :class:`~repro.adaptive.MigrationReport`.  Queries keep serving
+        the old layout while records are re-keyed; only the final
+        cutover (and, under write contention, the last retry) holds the
+        index lock.
+        """
+        from ..adaptive.migrator import OnlineMigrator
+
+        return OnlineMigrator(batch_size=batch_size).migrate(self, curve)

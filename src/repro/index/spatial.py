@@ -20,6 +20,7 @@ facade with the historical signature.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -130,6 +131,11 @@ class SFCIndex:
         shared :data:`~repro.engine.cost.DEFAULT_COST_MODEL`).
     plan_cache_size:
         Capacity of the plan cache (0 disables plan caching).
+    recorder:
+        Optional :class:`~repro.adaptive.WorkloadRecorder`: the planner
+        reports every built plan, the executor every executed query —
+        the hooks the adaptive control plane observes live traffic
+        through.
     """
 
     def __init__(
@@ -140,20 +146,32 @@ class SFCIndex:
         buffer_pages: int = 0,
         cost_model: Optional[CostModel] = None,
         plan_cache_size: int = 256,
+        recorder=None,
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
         self._curve = curve
         self._page_capacity = page_capacity
+        self._tree_order = tree_order
         self._tree = BPlusTree(order=tree_order)
         self._disk = SimulatedDisk()
         self._pool = BufferPool(self._disk, buffer_pages) if buffer_pages else None
         self._cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
-        self._planner = Planner(curve, cost_model=self._cost_model)
+        self._recorder = recorder
+        self._planner = Planner(curve, cost_model=self._cost_model, recorder=recorder)
         self._plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
         self._layout: Optional[PageLayout] = None
         self._executor: Optional[Executor] = None
         self._count = 0
+        #: Layout generation, bumped by every flush and migration cutover;
+        #: keys the plan cache so stale-generation plans cannot be served.
+        self._epoch = 0
+        #: Content version, bumped by every write; the migration protocol
+        #: uses it to detect writes racing an optimistic re-key pass.
+        self._version = 0
+        #: The single index is not thread-safe, so migration needs no real
+        #: lock — the field exists to satisfy the migration protocol.
+        self._migration_lock = nullcontext()
 
     @property
     def curve(self) -> SpaceFillingCurve:
@@ -195,6 +213,16 @@ class SFCIndex:
         """The cost model pricing this index's plans."""
         return self._cost_model
 
+    @property
+    def recorder(self):
+        """The workload recorder observing this index's traffic (or None)."""
+        return self._recorder
+
+    @property
+    def epoch(self) -> int:
+        """Layout generation counter (bumped by every flush/migration)."""
+        return self._epoch
+
     def __len__(self) -> int:
         return self._count
 
@@ -214,6 +242,7 @@ class SFCIndex:
         key = self._curve.index(point)
         self._append_record(key, Record(tuple(int(c) for c in point), payload))
         self._count += 1
+        self._version += 1
         self._invalidate_layout()  # on-disk layout is stale
 
     def bulk_load(
@@ -236,6 +265,7 @@ class SFCIndex:
         for key, record in entries:
             self._append_record(key, record)
         self._count += len(entries)
+        self._version += 1
         self._invalidate_layout()
 
     def delete(self, point: Sequence[int], payload: Any = None) -> bool:
@@ -256,6 +286,7 @@ class SFCIndex:
         if not bucket:
             self._tree.delete(key)
         self._count -= 1
+        self._version += 1
         self._invalidate_layout()
         return True
 
@@ -271,6 +302,23 @@ class SFCIndex:
     def _invalidate_layout(self) -> None:
         self._layout = None
         self._executor = None
+
+    def _install_layout(self, layout: PageLayout) -> None:
+        """Make ``layout`` the served generation: bump the epoch, drop
+        everything that referred to the previous layout (buffer pool,
+        plan cache) and bind a fresh executor.  The single statement of
+        the install protocol, shared by :meth:`flush` and the migration
+        cutover so the two paths cannot drift apart.
+        """
+        self._layout = layout
+        self._epoch += 1
+        if self._pool is not None:
+            self._pool.invalidate()
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
+        self._executor = Executor(
+            self._disk, layout, pool=self._pool, recorder=self._recorder
+        )
 
     def flush(self) -> None:
         """Lay every record out on the simulated disk in curve-key order.
@@ -289,13 +337,7 @@ class SFCIndex:
                 for record in bucket
             ),
         )
-        self._layout = layout
-        if self._pool is not None:
-            self._pool.invalidate()
-        if self._plan_cache is not None:
-            self._plan_cache.invalidate()
-        reader = self._pool.read if self._pool is not None else None
-        self._executor = Executor(self._disk, layout, reader=reader)
+        self._install_layout(layout)
 
     def _ensure_flushed(self) -> Executor:
         if self._layout is None or self._executor is None:
@@ -323,7 +365,7 @@ class SFCIndex:
         self._ensure_flushed()
         if self._plan_cache is None:
             return self._planner.plan(rect, policy, layout=self._layout)
-        key = (self._curve, rect, policy)
+        key = (self._epoch, self._curve, rect, policy)
         plan = self._plan_cache.get(key)
         if plan is None:
             plan = self._planner.plan(rect, policy, layout=self._layout)
@@ -372,3 +414,59 @@ class SFCIndex:
             for rect in rects
         ]
         return executor.execute_batch(plans)
+
+    # ------------------------------------------------------------------
+    # Online migration (the adaptive control plane's data-plane hooks)
+    # ------------------------------------------------------------------
+    def _migration_snapshot(self) -> Tuple[int, List[Tuple[int, Record]]]:
+        """A consistent ``(version, [(key, record)])`` view of the contents."""
+        entries = [
+            (key, record)
+            for key, bucket in self._tree.items()
+            for record in bucket
+        ]
+        return self._version, entries
+
+    def _migration_cutover(
+        self,
+        curve: SpaceFillingCurve,
+        keyed: List[Tuple[int, Record]],
+        expected_version: int,
+    ) -> bool:
+        """Atomically install records re-keyed under ``curve``.
+
+        ``keyed`` must be sorted ascending by new key.  Refuses (returns
+        False) when writes landed since the snapshot ``expected_version``
+        was taken — the migrator then re-snapshots.  On success the index
+        serves the new curve: fresh B+-tree, shadow layout packed on the
+        same append-only disk, new planner/executor, epoch bumped, plan
+        cache and buffer pool invalidated.
+        """
+        if self._version != expected_version:
+            return False
+        tree = BPlusTree(order=self._tree_order)
+        for key, record in keyed:
+            bucket = tree.get(key)
+            if bucket is None:
+                tree.insert(key, [record])
+            else:
+                bucket.append(record)
+        layout = pack_layout(self._disk, self._page_capacity, keyed)
+        self._curve = curve
+        self._planner = Planner(
+            curve, cost_model=self._cost_model, recorder=self._recorder
+        )
+        self._tree = tree
+        self._install_layout(layout)
+        return True
+
+    def migrate_to(self, curve: SpaceFillingCurve, batch_size: int = 4096):
+        """Re-key this index onto ``curve`` and cut over (online migration).
+
+        Convenience front end to
+        :class:`~repro.adaptive.OnlineMigrator`; returns its
+        :class:`~repro.adaptive.MigrationReport`.
+        """
+        from ..adaptive.migrator import OnlineMigrator
+
+        return OnlineMigrator(batch_size=batch_size).migrate(self, curve)

@@ -182,3 +182,55 @@ class TestBatchExecution:
         assert batch.results == []
         assert batch.total_seeks == 0
         assert batch.total_records == 0
+
+
+class TestBufferPoolWiring:
+    """The executor's optional page cache (pool=...) and its accounting."""
+
+    def test_pool_reader_is_default_when_pool_given(self):
+        from repro.engine import Executor
+        from repro.storage.buffer import BufferPool
+
+        index = build_index(
+            "onion", 16, [(x, y) for x in range(16) for y in range(16)]
+        )
+        pool = BufferPool(index.disk, capacity=128)
+        executor = Executor(index.disk, index.page_layout, pool=pool)
+        plan = index.plan(Rect((2, 2), (9, 9)))
+        cold = executor.execute(plan)
+        assert pool.stats.misses == cold.pages_read > 0
+        # Warm pass: every page resident, nothing reaches the disk.
+        index.disk.reset_stats()
+        warm = executor.execute(plan)
+        assert warm.records == cold.records
+        assert warm.pages_read == 0
+        assert pool.stats.hits >= cold.pages_read
+
+    def test_explicit_reader_wins_over_pool(self):
+        from repro.adaptive import WorkloadRecorder
+        from repro.engine import Executor
+        from repro.storage.buffer import BufferPool
+
+        index = build_index("onion", 8, [(x, y) for x in range(8) for y in range(8)])
+        pool = BufferPool(index.disk, capacity=64)
+        recorder = WorkloadRecorder()
+        executor = Executor(
+            index.disk, index.page_layout, reader=index.disk.read, pool=pool,
+            recorder=recorder,
+        )
+        executor.execute(index.plan(Rect((1, 1), (5, 5))))
+        assert pool.stats.accesses == 0  # the pool was bypassed by the reader
+        # A bypassed pool must not fake "fully warm" cold-miss telemetry.
+        assert recorder.observations()[-1].cold_misses is None
+
+    def test_index_buffer_pages_served_through_pool(self):
+        index = build_index(
+            "onion", 16, [(x, y) for x in range(16) for y in range(16)],
+            buffer_pages=256,
+        )
+        rect = Rect((3, 3), (12, 12))
+        first = index.range_query(rect)
+        assert first.pages_read > 0
+        second = index.range_query(rect)
+        assert second.records == first.records
+        assert second.pages_read == 0  # warm pages never touch the disk

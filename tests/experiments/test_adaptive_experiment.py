@@ -1,0 +1,53 @@
+"""The adaptive drifting-trace experiment (rows → cubes, migrated live)."""
+
+import pytest
+
+from repro.experiments import adaptive
+from repro.experiments.config import SCALES
+
+
+@pytest.fixture(scope="module")
+def result():
+    return adaptive.run(SCALES["ci"], dim=2)
+
+
+class TestAdaptiveExperiment:
+    def test_cutover_happens_mid_trace(self, result):
+        assert any("cutover after query" in note for note in result.notes)
+
+    def test_phases_cover_the_whole_trace(self, result):
+        phases = result.column("phase")
+        assert phases[0].startswith("rows")
+        assert any("drifted tail" in p for p in phases)
+        total = sum(result.column("queries"))
+        assert str(total) in result.title  # every query lands in a phase
+
+    def test_adaptive_beats_static_on_the_drifted_tail(self, result):
+        """The acceptance criterion: strictly fewer seeks after cutover."""
+        for phase, static_seeks, adaptive_seeks in zip(
+            result.column("phase"),
+            result.column("static seeks"),
+            result.column("adaptive seeks"),
+        ):
+            if "drifted tail" in phase:
+                assert adaptive_seeks < static_seeks
+
+    def test_rows_phase_identical_before_drift(self, result):
+        """Before the drift both indexes are the same curve: same seeks."""
+        row = result.rows[0]
+        assert row[2] == row[3]
+
+    def test_expected_seeks_note_ranks_onion_first_on_tail(self, result):
+        note = next(n for n in result.notes if n.startswith("expected seeks"))
+        assert "onion" in note and "rowmajor" in note
+
+    def test_3d_variant_also_migrates(self):
+        result = adaptive.run(SCALES["ci"], dim=3)
+        assert any("cutover after query" in note for note in result.notes)
+        for phase, static_seeks, adaptive_seeks in zip(
+            result.column("phase"),
+            result.column("static seeks"),
+            result.column("adaptive seeks"),
+        ):
+            if "drifted tail" in phase:
+                assert adaptive_seeks < static_seeks

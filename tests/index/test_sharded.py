@@ -161,3 +161,32 @@ class TestResultSurface:
         assert batch.total_records == sum(len(r.records) for r in batch.results)
         assert batch.total_fan_out == sum(r.fan_out for r in batch.results)
         assert sum(s.records for s in batch.per_shard) == batch.total_records
+
+
+class TestBufferPool:
+    """buffer_pages wires an LRU pool into the scatter-gather gather side."""
+
+    def test_warm_queries_never_touch_the_disk(self):
+        index = _build(num_shards=4, buffer_pages=512)
+        assert index.buffer_pool is not None
+        rect = Rect((2, 2), (11, 11))
+        cold = index.range_query(rect)
+        assert cold.pages_read > 0
+        warm = index.range_query(rect)
+        assert warm.records == cold.records
+        assert warm.pages_read == 0
+        assert index.buffer_pool.stats.hits >= cold.pages_read
+
+    def test_pool_invalidated_on_reflush_and_migration(self):
+        index = _build(num_shards=2, buffer_pages=512)
+        rect = Rect((1, 1), (9, 9))
+        index.range_query(rect)
+        assert index.buffer_pool.resident > 0
+        index.insert((0, 0), payload="dirty")
+        index.range_query(rect)  # auto-reflush must not serve stale pages
+        index.migrate_to(make_curve("hilbert", 16, 2))
+        cold = index.range_query(rect)
+        assert cold.pages_read > 0  # post-cutover pass is cold again
+
+    def test_disabled_by_default(self):
+        assert _build().buffer_pool is None

@@ -89,6 +89,72 @@ class TestBatchCommand:
         assert "executed:" in out
 
 
+class TestAdviseCommand:
+    def test_row_workload_ranks_rowmajor_first(self, capsys):
+        assert main(["advise", "--side", "32", "--shapes", "32x1"]) == 0
+        out = capsys.readouterr().out
+        assert "winner: rowmajor" in out
+        assert "expected seeks" in out
+
+    def test_cube_workload_ranks_onion_first(self, capsys):
+        assert main(["advise", "--side", "32", "--shapes", "20x20"]) == 0
+        assert "winner: onion" in capsys.readouterr().out
+
+    def test_weighted_mixed_workload_table(self, capsys):
+        assert main(["advise", "--side", "32", "--curves", "onion,rowmajor",
+                     "--shapes", "32x1:100,20x20:1"]) == 0
+        out = capsys.readouterr().out
+        assert "winner: rowmajor" in out  # row-heavy mix
+        assert "32x1" in out and "20x20" in out
+
+    def test_restricted_candidate_list(self, capsys):
+        assert main(["advise", "--side", "16", "--curves", "hilbert,zorder",
+                     "--shapes", "4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "onion" not in out
+
+
+class TestMigrateCommand:
+    def test_explicit_target_reduces_row_seeks(self, capsys):
+        assert main(["migrate", "--curve", "hilbert", "--to", "rowmajor",
+                     "--side", "16", "--points", "256", "--shapes", "16x1",
+                     "--queries", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "before migration:" in out
+        assert "migrated 256 records" in out
+        assert "after migration:" in out
+        assert "seek reduction:" in out
+
+    def test_auto_target_prints_drift_report(self, capsys):
+        assert main(["migrate", "--curve", "rowmajor", "--to", "auto",
+                     "--side", "32", "--points", "1024", "--page-capacity", "4",
+                     "--shapes", "20x20", "--queries", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "DriftReport" in out
+        assert "onion" in out
+        assert "after migration:" in out
+
+    def test_bad_shape_or_weight_raises_typed_error(self):
+        from repro.errors import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            main(["migrate", "--curve", "rowmajor", "--to", "onion",
+                  "--side", "16", "--shapes", "20x1", "--queries", "5"])
+        with pytest.raises(InvalidQueryError):
+            main(["migrate", "--curve", "rowmajor", "--to", "onion",
+                  "--side", "16", "--shapes", "8x8:0", "--queries", "5"])
+        with pytest.raises(InvalidQueryError):
+            main(["advise", "--side", "16", "--shapes", "8x8:-1,4x4:2"])
+
+    def test_sharded_migration(self, capsys):
+        assert main(["migrate", "--curve", "hilbert", "--to", "rowmajor",
+                     "--side", "16", "--points", "300", "--shards", "4",
+                     "--shapes", "16x1", "--queries", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "4 shards" in out
+        assert "migrated" in out
+
+
 class TestRenderCommand:
     def test_render_keys(self, capsys):
         assert main(["render", "--curve", "onion", "--side", "4"]) == 0
