@@ -1,0 +1,187 @@
+"""Query-API benchmarks, with a JSON artifact.
+
+Three acceptance claims for the one-front-door redesign, measured on a
+hotspot workload over a uniformly paged index:
+
+* **streaming is memory-bounded and free of I/O regressions**: a
+  full-grid cursor holds at most one page of records at a time (peak
+  residency = page capacity) while charging exactly the seeks/pages of
+  the materialized scan;
+* **row limits early-exit**: a limited cursor reads a small prefix of
+  the pages the full scan reads, with the page saving proportional to
+  the selectivity;
+* **kNN is cheap**: expanding curve-range search answers
+  nearest-neighbour queries in O(log side) expansions and a handful of
+  seeks, far below a full scan.
+
+The numbers land in ``benchmarks/BENCH_query_api.json`` so CI uploads
+them as an artifact next to the other ``BENCH_*.json`` trajectories.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Query
+from repro.curves import make_curve
+from repro.geometry import Rect
+from repro.index import SFCIndex
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent / "BENCH_query_api.json"
+
+SIDE = 64
+NUM_POINTS = 6000
+PAGE_CAPACITY = 16
+LIMITS = (10, 100, 1000)
+KNN_POINTS = 40
+
+
+def _points():
+    rng = np.random.default_rng(41)
+    return [tuple(map(int, p)) for p in rng.integers(0, SIDE, size=(NUM_POINTS, 2))]
+
+
+def _build():
+    index = SFCIndex(make_curve("onion", SIDE, 2), page_capacity=PAGE_CAPACITY)
+    index.bulk_load(_points(), payloads=range(NUM_POINTS))
+    index.flush()
+    return index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return _build()
+
+
+@pytest.fixture(scope="module")
+def bench_records(index):
+    """The three measurements, written to the artifact."""
+    whole = Rect((0, 0), (SIDE - 1, SIDE - 1))
+    records = []
+
+    # --- cursor peak memory vs materialized -------------------------
+    index.disk.reset_stats()
+    materialized = index.range_query(whole)
+    index.disk.reset_stats()
+    cursor = index.cursor(Query.rect(whole))
+    streamed = sum(1 for _ in cursor)
+    stats = cursor.stats
+    records.append(
+        {
+            "scenario": "cursor_peak_memory",
+            "rows": streamed,
+            "materialized_resident_records": len(materialized.records),
+            "cursor_peak_resident_records": stats.peak_page_records,
+            "residency_reduction": round(
+                len(materialized.records) / max(1, stats.peak_page_records), 1
+            ),
+            "io_identical": (
+                streamed == len(materialized.records)
+                and stats.seeks == materialized.seeks
+                and stats.pages_read == materialized.pages_read
+            ),
+        }
+    )
+
+    # --- limit early exit -------------------------------------------
+    full_pages = materialized.pages_read
+    for limit in LIMITS:
+        cursor = index.cursor(Query.rect(whole).limit(limit))
+        rows = len(cursor.fetchall())
+        pages = cursor.stats.pages_read
+        records.append(
+            {
+                "scenario": "limit_early_exit",
+                "limit": limit,
+                "rows": rows,
+                "pages_read": pages,
+                "full_scan_pages": full_pages,
+                "page_speedup": round(full_pages / max(1, pages), 1),
+            }
+        )
+
+    # --- knn latency -------------------------------------------------
+    rng = np.random.default_rng(43)
+    queries = [tuple(map(int, p)) for p in rng.integers(0, SIDE, size=(KNN_POINTS, 2))]
+    t0 = time.perf_counter()
+    results = [index.knn(point, 10) for point in queries]
+    wall = time.perf_counter() - t0
+    records.append(
+        {
+            "scenario": "knn",
+            "k": 10,
+            "queries": KNN_POINTS,
+            "avg_seeks": round(sum(r.seeks for r in results) / KNN_POINTS, 2),
+            "avg_pages": round(sum(r.pages_read for r in results) / KNN_POINTS, 2),
+            "avg_expansions": round(
+                sum(r.expansions for r in results) / KNN_POINTS, 2
+            ),
+            "avg_sim_ms": round(sum(r.cost() for r in results) / KNN_POINTS, 2),
+            "wall_ms_per_query": round(1000.0 * wall / KNN_POINTS, 3),
+        }
+    )
+
+    BENCH_JSON_PATH.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"\n[query-api benchmark written to {BENCH_JSON_PATH}]")
+    return records
+
+
+# ----------------------------------------------------------------------
+# Acceptance
+# ----------------------------------------------------------------------
+def test_cursor_is_memory_bounded_and_io_identical(bench_records):
+    record = next(r for r in bench_records if r["scenario"] == "cursor_peak_memory")
+    assert record["io_identical"], record
+    assert record["cursor_peak_resident_records"] <= PAGE_CAPACITY
+    assert record["residency_reduction"] > 50, record
+
+
+def test_limit_early_exit_saves_pages(bench_records):
+    rows = [r for r in bench_records if r["scenario"] == "limit_early_exit"]
+    assert len(rows) == len(LIMITS)
+    for record in rows:
+        assert record["rows"] == record["limit"]
+        assert record["pages_read"] < record["full_scan_pages"], record
+    # tighter limits read fewer pages, and the tightest is a big win
+    pages = [r["pages_read"] for r in rows]
+    assert pages == sorted(pages)
+    assert rows[0]["page_speedup"] > 10, rows[0]
+
+
+def test_knn_is_far_cheaper_than_a_full_scan(bench_records, index):
+    record = next(r for r in bench_records if r["scenario"] == "knn")
+    full_pages = index.range_query(
+        Rect((0, 0), (SIDE - 1, SIDE - 1))
+    ).pages_read
+    assert record["avg_pages"] < full_pages / 4, (record, full_pages)
+    assert record["avg_expansions"] <= 7  # O(log side)
+
+
+def test_bench_json_is_machine_readable(bench_records):
+    data = json.loads(BENCH_JSON_PATH.read_text())
+    assert data == bench_records
+
+
+# ----------------------------------------------------------------------
+# Wall-clock history
+# ----------------------------------------------------------------------
+def test_bench_cursor_full_scan(benchmark, index):
+    whole = Rect((0, 0), (SIDE - 1, SIDE - 1))
+    benchmark(lambda: sum(1 for _ in index.cursor(Query.rect(whole))))
+
+
+def test_bench_materialized_full_scan(benchmark, index):
+    whole = Rect((0, 0), (SIDE - 1, SIDE - 1))
+    benchmark(lambda: len(index.execute(Query.rect(whole)).records))
+
+
+def test_bench_limited_cursor(benchmark, index):
+    whole = Rect((0, 0), (SIDE - 1, SIDE - 1))
+    benchmark(lambda: index.cursor(Query.rect(whole).limit(20)).fetchall())
+
+
+def test_bench_knn(benchmark, index):
+    benchmark(lambda: index.knn((31, 31), 10))

@@ -1,13 +1,24 @@
 """A spatio-temporal store on different space filling curves.
 
-Synthetic scenario from the paper's introduction: a spatial database
-indexes points by SFC key and answers region queries with one disk seek
-per key run.  We generate a city-like workload (Gaussian hotspots over a
-grid), index it under the onion, Hilbert and Z curves, and compare the
-simulated I/O cost of small, medium and near-full region scans.
+Synthetic scenario from the paper's introduction, served through the
+**one front door** of :mod:`repro.api`: a spatial database indexes
+points by SFC key and answers region queries with one disk seek per key
+run.  We generate a city-like workload (Gaussian hotspots over a grid),
+index it under the onion, Hilbert and Z curves behind the shared
+``SpatialStore`` protocol, and then exercise the whole query surface:
 
-Expected outcome, matching the paper: comparable costs on small regions,
-the onion curve far ahead on large (near-cube) regions.
+* **region scans** as composable :class:`repro.Query` objects — the
+  city-wide family is a *union* of two districts, overlap-deduplicated
+  at plan time;
+* a **streaming cursor** over the largest scan, showing O(page) peak
+  record residency with I/O identical to the materialized result;
+* a **dashboard query** with a predicate, a row limit (early exit) and
+  a projection;
+* **k-nearest-neighbour** lookups answered by expanding curve-range
+  search.
+
+Expected outcome, matching the paper: comparable costs on small
+regions, the onion curve far ahead on large (near-cube) regions.
 
 Run with::
 
@@ -16,7 +27,7 @@ Run with::
 
 import numpy as np
 
-from repro import Rect, SFCIndex, make_curve
+from repro import Query, Rect, SFCIndex, make_curve
 
 SIDE = 128
 NUM_POINTS = 20_000
@@ -33,57 +44,122 @@ def city_workload(rng: np.random.Generator) -> np.ndarray:
 
 
 def region_queries(rng: np.random.Generator):
-    """Three families of region scans: neighborhood, district, city-wide."""
-    families = {
-        "neighborhood (8x8)": 8,
-        "district (48x48)": 48,
-        "city-wide (112x112)": 112,
-    }
-    for label, extent in families.items():
-        rects = []
+    """Three families of region scans, as composable queries."""
+    for label, extent in (
+        ("neighborhood (8x8)", 8),
+        ("district (48x48)", 48),
+    ):
+        queries = []
         for _ in range(20):
             origin = rng.integers(0, SIDE - extent + 1, size=2)
-            rects.append(Rect.from_origin(tuple(origin), (extent, extent)))
-        yield label, rects
+            queries.append(
+                Query.rect(Rect.from_origin(tuple(origin), (extent, extent)))
+            )
+        yield label, queries
+
+    # The city-wide family is a union of two overlapping districts —
+    # one plan, overlap-deduplicated, every record returned once.
+    queries = []
+    for _ in range(20):
+        west = rng.integers(0, SIDE - 112 + 1, size=2)
+        east = np.clip(west + rng.integers(-16, 17, size=2), 0, SIDE - 112)
+        queries.append(
+            Query.union_of(
+                [
+                    Rect.from_origin(tuple(west), (112, 112)),
+                    Rect.from_origin(tuple(east), (112, 112)),
+                ]
+            )
+        )
+    yield "city-wide (2x112x112)", queries
 
 
 def main() -> None:
     rng = np.random.default_rng(SEED)
     points = city_workload(rng)
 
-    indexes = {}
+    stores = {}
     for name in ("onion", "hilbert", "zorder"):
-        index = SFCIndex(make_curve(name, SIDE, 2), page_capacity=32)
-        index.bulk_load(map(tuple, points))
-        index.flush()
-        indexes[name] = index
+        store = SFCIndex(make_curve(name, SIDE, 2), page_capacity=32)
+        store.bulk_load(map(tuple, points), payloads=range(NUM_POINTS))
+        store.flush()
+        stores[name] = store
 
     print(f"{NUM_POINTS} points on a {SIDE}x{SIDE} grid, 20 queries per family\n")
-    header = f"{'query family':<22}" + "".join(f"{n:>18}" for n in indexes)
+    header = f"{'query family':<22}" + "".join(f"{n:>18}" for n in stores)
     print(header)
     print("-" * len(header))
-    for label, rects in region_queries(rng):
-        seeks = {name: 0 for name in indexes}
-        costs = {name: 0.0 for name in indexes}
+    big_query = None
+    for label, queries in region_queries(rng):
+        seeks = {name: 0 for name in stores}
+        costs = {name: 0.0 for name in stores}
         matched = None
-        for rect in rects:
+        for query in queries:
             counts = set()
-            for name, index in indexes.items():
-                result = index.range_query(rect)
+            for name, store in stores.items():
+                result = store.execute(query)
                 seeks[name] += result.seeks
                 costs[name] += result.cost()
                 counts.add(len(result.records))
             if len(counts) != 1:
-                raise AssertionError("indexes disagree on query results")
+                raise AssertionError("stores disagree on query results")
             matched = counts.pop()
+            big_query = query
         cells = " ".join(
-            f"{seeks[n]:>7} / {costs[n]:>7.0f}" for n in indexes
+            f"{seeks[n]:>7} / {costs[n]:>7.0f}" for n in stores
         )
         print(f"{label:<22}{cells}   (seeks / sim-ms, last query: {matched} rows)")
+
     print(
         "\nthe onion curve needs the fewest seeks on the city-wide scans, "
         "matching the paper's large-query analysis"
     )
+
+    # ------------------------------------------------------------------
+    # Streaming: the same city-wide scan, one page resident at a time
+    # ------------------------------------------------------------------
+    onion = stores["onion"]
+    materialized = onion.execute(big_query)
+    with onion.cursor(big_query) as cursor:
+        streamed = sum(1 for _ in cursor)
+        stats = cursor.stats
+    assert streamed == len(materialized.records)
+    assert stats.pages_read == materialized.pages_read
+    print(
+        f"\nstreaming the last city-wide scan: {streamed} rows, "
+        f"peak residency {stats.peak_page_records} records "
+        f"(vs {len(materialized.records)} materialized), "
+        f"identical I/O ({stats.seeks} seeks, {stats.pages_read} pages)"
+    )
+
+    # ------------------------------------------------------------------
+    # Rich query: predicate + limit (early exit) + projection
+    # ------------------------------------------------------------------
+    dashboard = (
+        big_query.where(lambda r: r.payload % 3 == 0)
+        .limit(50)
+        .select(lambda r: r.point)
+    )
+    result = onion.execute(dashboard)
+    print(
+        f"dashboard query: first {len(result.rows)} matching points via "
+        f"{result.pages_read} pages (early exit vs "
+        f"{materialized.pages_read} for the full scan)"
+    )
+
+    # ------------------------------------------------------------------
+    # kNN: expanding curve-range search around a hotspot
+    # ------------------------------------------------------------------
+    center = (SIDE // 2, SIDE // 2)
+    for name, store in stores.items():
+        knn = store.knn(center, 5)
+        nearest = ", ".join(
+            f"{n.record.point}@{n.distance:.1f}" for n in knn.neighbors[:3]
+        )
+        print(
+            f"knn on {name:<8}: 5 nearest of {center} in "
+            f"{knn.expansions} expansion(s), {knn.seeks} seeks  [{nearest}, …]"
+        )
 
 
 if __name__ == "__main__":

@@ -16,6 +16,11 @@ The package provides:
   pricing, an LRU :class:`PlanCache`, key-ordered batch execution, and
   the scatter–gather serving half (:class:`ShardedPlanner`,
   :class:`ScatterGatherExecutor`) behind :class:`ShardedSFCIndex`;
+* :mod:`repro.api` — the one front door: the :class:`SpatialStore`
+  protocol both indexes implement, the immutable :class:`Query`
+  builder (multi-rect unions, predicates, limits, projections),
+  streaming :class:`Cursor` results with O(page) peak residency, and
+  kNN by expanding curve-range search;
 * :mod:`repro.adaptive` — the workload-adaptive control plane: live
   query-shape telemetry (:class:`WorkloadRecorder`), drift detection
   against the exact advisor (:class:`DriftDetector`), and online curve
@@ -50,6 +55,16 @@ differential suite — plus per-shard attribution)::
     sharded.flush()
     result = sharded.range_query(query)    # same records/seeks as above
     result.per_shard, result.parallel_cost(workers=4)
+
+One front door (composable queries, streaming, kNN — same surface on
+both indexes via the :class:`SpatialStore` protocol)::
+
+    from repro import Query
+    q = Query.union_of([query, query.translate((5, 5))]).limit(100)
+    with index.cursor(q) as cur:           # O(page) peak memory
+        rows = list(cur)
+    index.execute(q)                       # materialized
+    index.knn((10, 12), k=5)               # expanding range search
 """
 
 from .curves import (
@@ -87,6 +102,15 @@ from .engine import (
     ShardedPlan,
     ShardedPlanner,
 )
+from .api import (
+    Cursor,
+    CursorStats,
+    KNNResult,
+    Query,
+    QueryResult,
+    RectUnion,
+    SpatialStore,
+)
 from .errors import ReproError
 from .geometry import Rect
 from .index import SFCIndex, ShardedSFCIndex, advise, advise_histogram
@@ -98,7 +122,7 @@ from .adaptive import (
     WorkloadRecorder,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SpaceFillingCurve",
@@ -122,6 +146,13 @@ __all__ = [
     "sweep_clustering_grid",
     "SFCIndex",
     "ShardedSFCIndex",
+    "SpatialStore",
+    "Query",
+    "Cursor",
+    "CursorStats",
+    "QueryResult",
+    "KNNResult",
+    "RectUnion",
     "BatchResult",
     "CostModel",
     "ExecutionPolicy",

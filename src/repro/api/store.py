@@ -1,0 +1,609 @@
+"""``SpatialStore``: the one front door every index serves through.
+
+Before this module, :class:`~repro.index.spatial.SFCIndex` and
+:class:`~repro.index.sharded.ShardedSFCIndex` each carried their own
+copy of the serving facade — insert/delete/bulk-load, point queries,
+flush, planning, EXPLAIN, range queries, migration — and the two kept
+drifting.  ``SpatialStore`` hoists that facade into one abstract base:
+
+* **one write path** — :meth:`insert` / :meth:`bulk_load` /
+  :meth:`delete` key points under the store's mutex and route records
+  through two subclass primitives (:meth:`_tree_for_key`,
+  :meth:`_count_delta`), so ingestion semantics cannot diverge;
+* **one flush protocol** — :meth:`flush` packs :func:`pack_layout`
+  pages from the subclass's key-ordered :meth:`_flush_entries` and
+  installs them via the shared epoch-bumping :meth:`_install_layout`
+  (the sharded layer's byte-identical-layout guarantee rests on this
+  single packing rule);
+* **one query surface** — :meth:`plan` / :meth:`explain` /
+  :meth:`range_query` / :meth:`range_query_batch` remain, now thin
+  facades over the composable front door: :meth:`execute` runs a
+  :class:`~repro.api.query.Query` (multi-rect unions, predicates,
+  limits, projections), :meth:`cursor` streams one lazily with
+  O(page) peak residency, and :meth:`knn` answers nearest-neighbour
+  queries by expanding curve-range search;
+* **one point-lookup rule** — :meth:`point_query` is implemented once,
+  so single and sharded stores report identical (zero-I/O) seek
+  accounting for point lookups.
+
+Subclasses implement only the storage topology: where a key's tree
+lives, how flushed entries are enumerated, which executor serves a
+layout, and how a consistent (planner, layout, executor, epoch)
+snapshot is taken.
+"""
+
+from __future__ import annotations
+
+import abc
+from contextlib import nullcontext
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.runs import merge_runs_with_gaps
+from ..curves.base import SpaceFillingCurve
+from ..engine.cost import CostModel
+from ..engine.executor import Record
+from ..engine.plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
+from ..errors import InvalidQueryError, OutOfUniverseError
+from ..geometry import Rect
+from ..storage.disk import SimulatedDisk
+from .cursor import Cursor, QueryResult
+from .query import Query, RectUnion
+
+__all__ = ["SpatialStore", "keyed_records", "pack_layout", "merge_plans"]
+
+
+def keyed_records(
+    curve: SpaceFillingCurve,
+    points: Iterable[Sequence[int]],
+    payloads: Optional[Iterable[Any]] = None,
+) -> List[Tuple[int, Record]]:
+    """Pair ``points`` with ``payloads`` and key them under ``curve``.
+
+    The shared bulk-load front half — payload pairing rules (extras
+    ignored so infinite iterators work, exhaustion mid-load is an
+    error), dimension validation, and one vectorized ``index_many``
+    call — used by every store so ingestion semantics can never drift
+    apart.
+    """
+    cells: List[Tuple[int, ...]] = []
+    attached: List[Any] = []
+    if payloads is None:
+        cells = [tuple(int(c) for c in point) for point in points]
+        attached = [None] * len(cells)
+    else:
+        payload_iter = iter(payloads)
+        for point in points:
+            try:
+                payload = next(payload_iter)
+            except StopIteration:
+                raise InvalidQueryError(
+                    f"payloads exhausted after {len(cells)} points"
+                ) from None
+            cells.append(tuple(int(c) for c in point))
+            attached.append(payload)
+    if not cells:
+        return []
+    dim = curve.dim
+    if any(len(cell) != dim for cell in cells):
+        bad = next(cell for cell in cells if len(cell) != dim)
+        raise OutOfUniverseError(
+            f"cell {bad!r} outside {dim}-d universe of side {curve.side}"
+        )
+    keys = curve.index_many(np.asarray(cells, dtype=np.int64))
+    return [
+        (int(key), Record(cell, payload))
+        for key, cell, payload in zip(keys, cells, attached)
+    ]
+
+
+def pack_layout(
+    disk: SimulatedDisk,
+    page_capacity: int,
+    records: Iterable[Tuple[int, Record]],
+) -> PageLayout:
+    """Pack ``(key, record)`` pairs (ascending keys) into disk pages.
+
+    The single statement of the flush packing rule — pages filled to
+    ``page_capacity``, first/last keys recorded for binary-searchable
+    scans — shared by every store; the sharded index's
+    byte-identical-layout guarantee (and with it shard transparency)
+    rests on all flush paths using this one function.
+    """
+    layout = PageLayout()
+    page: List[Tuple[int, Record]] = []
+    for key, record in records:
+        if not page:
+            layout.first_keys.append(key)
+        page.append((key, record))
+        if len(page) == page_capacity:
+            layout.last_keys.append(key)
+            layout.page_ids.append(disk.allocate(page))
+            page = []
+    if page:
+        layout.last_keys.append(page[-1][0])
+        layout.page_ids.append(disk.allocate(page))
+    return layout
+
+
+def _coalesce_runs(runs: List[KeyRun]) -> List[KeyRun]:
+    """Merge overlapping or adjacent sorted key runs into maximal runs."""
+    merged: List[KeyRun] = []
+    for start, end in runs:
+        if merged and start <= merged[-1][1] + 1:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def merge_plans(
+    plans: Sequence[QueryPlan],
+    layout: Optional[PageLayout] = None,
+) -> QueryPlan:
+    """Combine per-rect plans into one overlap-deduplicated union plan.
+
+    The exact key runs of all plans are unioned and coalesced (so a key
+    covered by several rects is scanned once and each record returned
+    once), gap merging is re-applied to the *union* — matching what
+    planning the union region directly would produce — and page spans
+    are resolved against ``layout``.  The plan's region is the
+    :class:`~repro.api.query.RectUnion` of the member rects, so the
+    executors' record filter admits exactly the union's cells.
+    """
+    if not plans:
+        raise InvalidQueryError("merge_plans needs at least one plan")
+    if len(plans) == 1:
+        return plans[0]
+    policy = plans[0].policy
+    runs = _coalesce_runs(sorted(run for plan in plans for run in plan.runs))
+    scan_runs = (
+        merge_runs_with_gaps(runs, policy.gap_tolerance)
+        if policy.gap_tolerance
+        else runs
+    )
+    page_spans = (
+        tuple(layout.span(start, end) for start, end in scan_runs)
+        if layout is not None
+        else None
+    )
+    return QueryPlan(
+        curve=plans[0].curve,
+        rect=RectUnion(tuple(plan.rect for plan in plans)),
+        policy=policy,
+        runs=tuple(runs),
+        scan_runs=tuple(scan_runs),
+        page_spans=page_spans,
+        cost_model=plans[0].cost_model,
+    )
+
+
+class SpatialStore(abc.ABC):
+    """Abstract base of every SFC-keyed store (single-node or sharded).
+
+    Concrete stores set the shared state in ``__init__`` — ``_curve``,
+    ``_page_capacity``, ``_disk``, ``_pool``, ``_plan_cache``,
+    ``_planner``, ``_layout``, ``_executor``, ``_epoch``, ``_version``,
+    ``_cost_model``, ``_recorder`` — and implement the five storage
+    primitives (:meth:`_tree_for_key`, :meth:`_count_delta`,
+    :meth:`_flush_entries`, :meth:`_make_executor`, :meth:`_snapshot`).
+    Thread-safe stores additionally override the three lock hooks
+    (:attr:`_mutex`, :attr:`_pool_guard`, :attr:`_migration_lock`),
+    which default to no-op context managers for single-threaded stores.
+    """
+
+    #: Context manager serializing mutations and snapshots (no-op by
+    #: default; the sharded store binds its re-entrant index lock).
+    _mutex = nullcontext()
+    #: Context manager held while clearing the buffer pool on a layout
+    #: swap (the sharded store binds its I/O lock — see
+    #: :meth:`_install_layout`).
+    _pool_guard = nullcontext()
+    #: The lock the migration protocol's final attempt holds.
+    _migration_lock = nullcontext()
+
+    # ------------------------------------------------------------------
+    # Storage primitives (the only per-topology code)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _tree_for_key(self, key: int):
+        """The B+-tree holding ``key``'s bucket (callers hold the mutex)."""
+
+    @abc.abstractmethod
+    def _count_delta(self, key: int, delta: int) -> None:
+        """Adjust the record count attributed to ``key`` by ``delta``."""
+
+    @abc.abstractmethod
+    def _flush_entries(self) -> Iterable[Tuple[int, Record]]:
+        """Every stored ``(key, record)`` in ascending key order."""
+
+    @abc.abstractmethod
+    def _make_executor(self, layout: PageLayout):
+        """An executor bound to ``layout`` (callers hold the mutex)."""
+
+    @abc.abstractmethod
+    def _snapshot(self):
+        """A consistent ``(planner, layout, executor, epoch)`` for one
+        layout generation, flushing first if the layout is stale."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored records."""
+
+    def _retire_executor(self) -> None:
+        """Release resources of the outgoing executor (default: none)."""
+
+    # ------------------------------------------------------------------
+    # Shared introspection
+    # ------------------------------------------------------------------
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        """The curve keying this store."""
+        return self._curve
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The simulated disk backing flushed scans."""
+        return self._disk
+
+    @property
+    def buffer_pool(self):
+        """The LRU pool absorbing re-reads, when configured."""
+        return self._pool
+
+    @property
+    def planner(self):
+        """The planner producing this store's query plans."""
+        return self._planner
+
+    @property
+    def plan_cache(self):
+        """The LRU plan cache, when enabled."""
+        return self._plan_cache
+
+    @property
+    def page_layout(self) -> Optional[PageLayout]:
+        """Key layout of the flushed pages (None until a flush)."""
+        return self._layout
+
+    @property
+    def executor(self):
+        """The executor bound to the current layout (None until a flush)."""
+        return self._executor
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model pricing this store's plans."""
+        return self._cost_model
+
+    @property
+    def recorder(self):
+        """The workload recorder observing this store's traffic (or None)."""
+        return self._recorder
+
+    @property
+    def epoch(self) -> int:
+        """Layout generation counter (bumped by every flush/migration)."""
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # Updates (one write path)
+    # ------------------------------------------------------------------
+    def _append_record(self, key: int, record: Record) -> None:
+        """Append one record to its key bucket (callers hold the mutex)."""
+        tree = self._tree_for_key(key)
+        bucket = tree.get(key)
+        if bucket is None:
+            tree.insert(key, [record])
+        else:
+            bucket.append(record)
+        self._count_delta(key, +1)
+
+    def _note_write(self) -> None:
+        """Bump the content version and drop the stale on-disk layout."""
+        self._version += 1
+        self._invalidate_layout()
+
+    def insert(self, point: Sequence[int], payload: Any = None) -> None:
+        """Add a record at ``point``; multiple records per cell are allowed.
+
+        The key is computed under the mutex: a migration cutover may
+        swap the curve, and a key minted under the outgoing curve must
+        never land in the incoming curve's trees.
+        """
+        with self._mutex:
+            key = self._curve.index(point)
+            self._append_record(key, Record(tuple(int(c) for c in point), payload))
+            self._note_write()
+
+    def bulk_load(
+        self,
+        points: Iterable[Sequence[int]],
+        payloads: Optional[Iterable[Any]] = None,
+    ) -> None:
+        """Insert many points (paired with ``payloads`` when given).
+
+        Keys are computed in one vectorized :meth:`index_many` call and
+        the on-disk layout is invalidated once at the end, instead of
+        the key-at-a-time / invalidate-per-insert cost of repeated
+        :meth:`insert` calls.  ``payloads`` may be longer than
+        ``points`` (extras ignored, so infinite iterators work) but
+        running out of payloads mid-load is an error, not silent
+        truncation.
+        """
+        curve = self._curve
+        entries = keyed_records(curve, points, payloads)
+        if not entries:
+            return
+        with self._mutex:
+            if self._curve != curve:
+                # A migration cut over while we were keying outside the
+                # mutex; re-key the already-validated cells (rare race).
+                cells = np.asarray([record.point for _, record in entries])
+                keys = self._curve.index_many(cells)
+                entries = [
+                    (int(key), record) for key, (_, record) in zip(keys, entries)
+                ]
+            for key, record in entries:
+                self._append_record(key, record)
+            self._note_write()
+
+    def delete(self, point: Sequence[int], payload: Any = None) -> bool:
+        """Remove one record matching ``point`` (and ``payload``, if given).
+
+        Returns True when a record was removed.  Keyed under the mutex,
+        like :meth:`insert` — a stale-curve key would silently miss (or
+        hit the wrong) bucket after a migration cutover.
+        """
+        with self._mutex:
+            key = self._curve.index(point)
+            tree = self._tree_for_key(key)
+            bucket = tree.get(key)
+            if not bucket:
+                return False
+            for i, record in enumerate(bucket):
+                if payload is None or record.payload == payload:
+                    bucket.pop(i)
+                    break
+            else:
+                return False
+            if not bucket:
+                tree.delete(key)
+            self._count_delta(key, -1)
+            self._note_write()
+            return True
+
+    def point_query(self, point: Sequence[int]) -> List[Record]:
+        """All records stored exactly at ``point``.
+
+        One implementation for every store: an in-memory B+-tree
+        lookup that never touches the simulated disk, so single and
+        sharded stores report identical (zero) seek accounting for
+        point lookups — the regression suite pins the equality.
+        """
+        with self._mutex:
+            key = self._curve.index(point)
+            bucket = self._tree_for_key(key).get(key)
+            return list(bucket) if bucket else []
+
+    # ------------------------------------------------------------------
+    # On-disk layout (one flush/install protocol)
+    # ------------------------------------------------------------------
+    def _invalidate_layout(self) -> None:
+        """Drop the flushed layout (callers hold the mutex)."""
+        self._layout = None
+        self._retire_executor()
+        self._executor = None
+
+    def _install_layout(self, layout: PageLayout) -> None:
+        """Make ``layout`` the served generation: bump the epoch, drop
+        everything that referred to the previous layout (buffer pool,
+        plan cache) and bind a fresh executor.  The single statement of
+        the install protocol, shared by :meth:`flush` and the migration
+        cutover so the two paths cannot drift apart.  The pool is
+        cleared under the pool guard: a query of the previous
+        generation may be mid-read through it, and the pool's
+        check-then-access is not atomic against a clear.
+        """
+        self._layout = layout
+        self._epoch += 1
+        if self._pool is not None:
+            with self._pool_guard:
+                self._pool.invalidate()
+        if self._plan_cache is not None:
+            self._plan_cache.invalidate()
+        self._executor = self._make_executor(layout)
+
+    def flush(self) -> None:
+        """Lay every record out on the simulated disk in curve-key order.
+
+        Pages are filled to ``page_capacity`` records by
+        :func:`pack_layout` — the one packing rule every store flushes
+        through — and the new layout is installed via
+        :meth:`_install_layout` (epoch bump, buffer pool and plan cache
+        invalidated: both refer to the previous layout).
+        """
+        with self._mutex:
+            self._retire_executor()
+            layout = pack_layout(
+                self._disk, self._page_capacity, self._flush_entries()
+            )
+            self._install_layout(layout)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan_snapshot(
+        self,
+        planner,
+        layout: PageLayout,
+        epoch: int,
+        rect: Rect,
+        policy: ExecutionPolicy,
+    ):
+        """Plan against one snapshot, memoized per ``(epoch, rect, policy)``.
+
+        The epoch in the cache key means a plan computed against an old
+        layout can never be served — or poison the cache — after a
+        reflush swaps the layout.
+        """
+        rect.check_fits(self._curve.side)
+        if self._plan_cache is None:
+            return planner.plan(rect, policy, layout=layout)
+        key = (epoch, self._curve, rect, policy)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = planner.plan(rect, policy, layout=layout)
+            self._plan_cache.put(key, plan)
+        return plan
+
+    def plan(
+        self,
+        rect: Rect,
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ):
+        """Plan ``rect`` against the current layout (flushing if stale).
+
+        Pass either ``gap_tolerance`` (convenience) or an explicit
+        ``policy``; the policy wins when both are given.  Plans are
+        memoized per ``(epoch, curve, rect, policy)`` until the next
+        reflush.
+        """
+        if policy is None:
+            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        planner, layout, _, epoch = self._snapshot()
+        return self._plan_snapshot(planner, layout, epoch, rect, policy)
+
+    def explain(self, rect: Rect, gap_tolerance: int = 0) -> str:
+        """Human-readable plan for ``rect`` (the engine's EXPLAIN)."""
+        return self.plan(rect, gap_tolerance=gap_tolerance).explain()
+
+    def _compile_snapshot(self, planner, layout: PageLayout, epoch: int, query: Query):
+        """Compile ``query``'s region into one executable plan.
+
+        Each member rect is planned through the epoch-keyed cache;
+        multi-rect unions are merged (overlap-deduplicated) by the
+        subclass's :meth:`_merge_snapshot`.
+        """
+        plans = [
+            self._plan_snapshot(planner, layout, epoch, rect, query.policy)
+            for rect in query.rects
+        ]
+        if len(plans) == 1:
+            return plans[0]
+        return self._merge_snapshot(plans, planner, layout)
+
+    def _merge_snapshot(self, plans, planner, layout: PageLayout):
+        """Merge per-rect plans of one snapshot into a union plan.
+
+        Default: :func:`merge_plans`.  The sharded store overrides this
+        to re-scatter the merged global plan across its shard map.
+        """
+        return merge_plans(plans, layout)
+
+    # ------------------------------------------------------------------
+    # The front door: execute / cursor / knn (and the legacy facades)
+    # ------------------------------------------------------------------
+    def execute(self, query: Union[Query, Rect]):
+        """Run ``query`` and return a fully materialized result.
+
+        Plain queries (no predicate, limit or projection — including
+        multi-rect unions) run through the legacy plan/execute path and
+        return the store's native result type
+        (:class:`~repro.engine.executor.RangeQueryResult` or the
+        sharded variant with per-shard attribution), byte-identical to
+        :meth:`range_query`.  Rich queries drain a :meth:`cursor` and
+        return a :class:`~repro.api.cursor.QueryResult`.
+        """
+        query = Query.of(query)
+        if query.is_plain:
+            planner, layout, executor, epoch = self._snapshot()
+            plan = self._compile_snapshot(planner, layout, epoch, query)
+            return executor.execute(plan)
+        return self.cursor(query).to_result()
+
+    def cursor(self, query: Union[Query, Rect]) -> Cursor:
+        """Open a streaming :class:`~repro.api.cursor.Cursor` over ``query``.
+
+        Rows are pulled page by page in key order through the store's
+        executor — seeks, pages and over-read accounting identical to
+        the materialized path, proven by the differential suite — with
+        peak record residency of one page and early exit as soon as a
+        row limit is satisfied.
+        """
+        query = Query.of(query)
+        planner, layout, executor, epoch = self._snapshot()
+        plan = self._compile_snapshot(planner, layout, epoch, query)
+        return Cursor(executor.stream(plan), query)
+
+    def knn(self, point: Sequence[int], k: int, metric: str = "euclidean"):
+        """The ``k`` records nearest to ``point`` (expanding range search).
+
+        Grows a box around ``point`` in doubling radii, scanning each
+        box through the plan/execute path (so every expansion is priced
+        and recorded like any range query), until the ``k``-th best
+        distance is provably inside the searched box.  Returns a
+        :class:`~repro.api.knn.KNNResult`; differential tests check it
+        against a brute-force oracle in 2-d and 3-d.
+        """
+        from .knn import knn_search
+
+        return knn_search(self, point, k, metric=metric)
+
+    def range_query(self, rect: Rect, gap_tolerance: int = 0):
+        """All records inside ``rect`` plus the simulated I/O profile.
+
+        A thin facade over :meth:`execute` with a single-rect plain
+        :class:`Query` — the historical one-call signature, returning
+        the store's native result type with byte-identical records and
+        I/O accounting.
+
+        ``gap_tolerance > 0`` enables the relaxed retrieval model from
+        the paper's related work (Asano et al.): runs separated by at
+        most that many keys are scanned as one, trading over-read
+        records (reported in ``over_read``) for fewer seeks.
+        """
+        return self.execute(Query.rect(rect).hint(gap_tolerance=gap_tolerance))
+
+    def range_query_batch(
+        self,
+        rects: Sequence[Rect],
+        gap_tolerance: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+    ):
+        """Execute a whole workload of rect queries in key order.
+
+        Plans every rect against one snapshot (hitting the plan cache
+        for repeats), then runs the plans sorted by first scanned key,
+        so a query starting where the previous one ended reads
+        sequentially instead of seeking.  ``results[i]`` corresponds to
+        ``rects[i]``.
+        """
+        if policy is None:
+            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
+        planner, layout, executor, epoch = self._snapshot()
+        plans = [
+            self._plan_snapshot(planner, layout, epoch, rect, policy)
+            for rect in rects
+        ]
+        return executor.execute_batch(plans)
+
+    # ------------------------------------------------------------------
+    # Online migration (the adaptive control plane's data-plane hooks)
+    # ------------------------------------------------------------------
+    def migrate_to(self, curve: SpaceFillingCurve, batch_size: int = 4096):
+        """Re-key this store onto ``curve`` and cut over (online migration).
+
+        Convenience front end to
+        :class:`~repro.adaptive.OnlineMigrator`; returns its
+        :class:`~repro.adaptive.MigrationReport`.  Queries keep serving
+        the old layout while records are re-keyed; only the final
+        cutover (and, under write contention, the last retry) holds the
+        migration lock.
+        """
+        from ..adaptive.migrator import OnlineMigrator
+
+        return OnlineMigrator(batch_size=batch_size).migrate(self, curve)

@@ -9,6 +9,10 @@ Commands::
                                           clustering number + key runs
     explain --curve NAME --side S --lo x,y --hi x,y [--shards N]
                                           EXPLAIN a range query's plan
+    query  --curve NAME --side S --rect x,y:x,y [--rect …] [--limit N]
+           [--stream] [--knn x,y --k K]   the Query front door: multi-rect
+                                          unions, row limits, streaming
+                                          cursors and k-nearest-neighbour
     batch  --curve NAME --side S --count N [--shards N]
                                           batched vs query-at-a-time I/O
                                           (``--shards`` serves through the
@@ -34,6 +38,7 @@ from typing import List
 import numpy as np
 
 from .adaptive import DriftDetector, OnlineMigrator, WorkloadRecorder
+from .api import Query
 from .core.clustering import clustering_number
 from .core.queries import random_cubes
 from .core.runs import query_runs
@@ -50,6 +55,29 @@ __all__ = ["main"]
 
 def _parse_cell(text: str) -> tuple:
     return tuple(int(v) for v in text.split(","))
+
+
+def _parse_rect(text: str) -> Rect:
+    """Parse ``lo:hi`` (cells comma-separated, e.g. ``2,3:10,11``)."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise InvalidQueryError(f"rect must look like lo:hi, got {text!r}")
+    return Rect(_parse_cell(lo), _parse_cell(hi))
+
+
+def _replay_workload(index, rects, gap_tolerance: int):
+    """Run ``rects`` one at a time through the Query front door.
+
+    The single query-at-a-time replay loop — shared by the ``explain``,
+    ``batch`` and ``migrate`` commands — returning total (seeks,
+    sim-ms) plus the last result for per-query reporting.
+    """
+    total_seeks, total_cost, result = 0, 0.0, None
+    for rect in rects:
+        result = index.execute(Query.rect(rect).hint(gap_tolerance=gap_tolerance))
+        total_seeks += result.seeks
+        total_cost += result.cost()
+    return total_seeks, total_cost, result
 
 
 def _parse_shapes(text: str):
@@ -159,6 +187,31 @@ def main(argv: List[str] = None) -> int:
     _add_index_args(explain_p)
     explain_p.add_argument("--lo", type=_parse_cell, required=True)
     explain_p.add_argument("--hi", type=_parse_cell, required=True)
+
+    query_p = sub.add_parser(
+        "query",
+        help="run a composable query: multi-rect union, limit, stream, knn",
+    )
+    _add_curve_args(query_p)
+    _add_index_args(query_p)
+    query_p.add_argument(
+        "--rect",
+        action="append",
+        type=_parse_rect,
+        default=[],
+        metavar="LO:HI",
+        help="rect as lo:hi cells (e.g. 2,3:10,11); repeat for a union",
+    )
+    query_p.add_argument("--limit", type=int, help="stop after this many rows")
+    query_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="pull rows through a streaming Cursor (O(page) memory)",
+    )
+    query_p.add_argument(
+        "--knn", type=_parse_cell, metavar="CELL", help="k-nearest-neighbour query point"
+    )
+    query_p.add_argument("--k", type=int, default=5, help="neighbours for --knn")
 
     batch_p = sub.add_parser(
         "batch", help="compare batched vs query-at-a-time execution"
@@ -270,11 +323,55 @@ def main(argv: List[str] = None) -> int:
         rect = Rect(args.lo, args.hi)
         print(f"{len(index)} random points indexed (seed {args.seed})")
         print(index.explain(rect, gap_tolerance=args.gap))
-        result = index.range_query(rect, gap_tolerance=args.gap)
+        seeks, cost, result = _replay_workload(index, [rect], args.gap)
         print(
-            f"executed: {result.seeks} seeks, {result.pages_read} pages, "
-            f"{len(result.records)} records, {result.cost():.1f} sim-ms"
+            f"executed: {seeks} seeks, {result.pages_read} pages, "
+            f"{len(result.records)} records, {cost:.1f} sim-ms"
         )
+        return 0
+    if args.command == "query":
+        index = _build_index(args)
+        print(f"{len(index)} random points indexed (seed {args.seed})")
+        if args.knn is not None:
+            result = index.knn(args.knn, args.k)
+            print(
+                f"{len(result)} nearest of {args.k} requested around "
+                f"{','.join(map(str, result.point))} "
+                f"({result.expansions} expansion(s))"
+            )
+            for neighbor in result.neighbors:
+                point = ",".join(str(c) for c in neighbor.record.point)
+                print(f"  ({point})  distance {neighbor.distance:.3f}")
+            print(
+                f"executed: {result.seeks} seeks, {result.pages_read} pages, "
+                f"{result.cost():.1f} sim-ms"
+            )
+            return 0
+        if not args.rect:
+            raise InvalidQueryError("query needs at least one --rect (or --knn)")
+        query = Query.union_of(args.rect).hint(gap_tolerance=args.gap)
+        if args.limit is not None:
+            query = query.limit(args.limit)
+        if args.stream:
+            with index.cursor(query) as cursor:
+                rows = sum(1 for _ in cursor)
+                stats = cursor.stats
+            print(
+                f"streamed: {rows} rows, {stats.seeks} seeks, "
+                f"{stats.pages_read} pages, {stats.cost():.1f} sim-ms, "
+                f"peak page residency {stats.peak_page_records} record(s)"
+                + (" [truncated by limit]" if stats.truncated else "")
+            )
+        else:
+            result = index.execute(query)
+            rows = getattr(result, "rows", None)
+            count = len(rows) if rows is not None else len(result.records)
+            truncated = bool(getattr(result, "truncated", False))
+            print(
+                f"executed: {count} rows, {result.seeks} seeks, "
+                f"{result.pages_read} pages, {result.cost():.1f} sim-ms"
+                + (" [truncated by limit]" if truncated else "")
+            )
         return 0
     if args.command == "batch":
         index = _build_index(args)
@@ -282,12 +379,7 @@ def main(argv: List[str] = None) -> int:
         rng = np.random.default_rng(args.seed + 1)
         rects = random_cubes(args.side, args.dim, length, args.count, rng)
         index.disk.reset_stats()
-        loop_seeks = 0
-        loop_cost = 0.0
-        for rect in rects:
-            result = index.range_query(rect, gap_tolerance=args.gap)
-            loop_seeks += result.seeks
-            loop_cost += result.cost()
+        loop_seeks, loop_cost, _ = _replay_workload(index, rects, args.gap)
         index.disk.reset_stats()
         batch = index.range_query_batch(rects, gap_tolerance=args.gap)
         print(f"{len(rects)} cube queries of side {length} on {index.curve!r}")
@@ -341,9 +433,7 @@ def main(argv: List[str] = None) -> int:
                 int(rng.integers(0, args.side - length + 1)) for length in shape
             ]
             rects.append(Rect.from_origin(origin, shape))
-        before = sum(
-            index.range_query(rect, gap_tolerance=args.gap).seeks for rect in rects
-        )
+        before, _, _ = _replay_workload(index, rects, args.gap)
         print(
             f"{len(index)} random points on {index.curve!r}"
             + (f", {index.num_shards} shards" if args.shards > 1 else "")
@@ -365,9 +455,7 @@ def main(argv: List[str] = None) -> int:
             target = make_curve(args.to, args.side, args.dim)
         migration = OnlineMigrator(batch_size=args.batch_size).migrate(index, target)
         print(migration.render())
-        after = sum(
-            index.range_query(rect, gap_tolerance=args.gap).seeks for rect in rects
-        )
+        after, _, _ = _replay_workload(index, rects, args.gap)
         print(f"after migration:  {after} seeks over {len(rects)} queries")
         if after:
             print(f"seek reduction:   {before / after:.2f}x")

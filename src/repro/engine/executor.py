@@ -14,8 +14,9 @@ same trick as elevator scheduling — and reports aggregate I/O as a
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry import Cell
 from ..storage.buffer import BufferPool
@@ -28,6 +29,7 @@ __all__ = [
     "RangeQueryResult",
     "BatchResult",
     "Executor",
+    "PlanStream",
     "execution_order",
     "read_page",
     "resolved_spans",
@@ -162,6 +164,169 @@ class BatchResult:
         )
 
 
+class PlanStream:
+    """Lazy, page-at-a-time execution of one plan — the engine behind
+    :class:`repro.api.Cursor`.
+
+    Iterating the stream yields one list of region-matched records per
+    page read, in key order.  The page-read sequence is *exactly* the
+    one :meth:`Executor.execute` issues for the same plan (same reader,
+    same run/span walk), so a fully drained stream charges identical
+    seeks, sequential reads and over-read — the differential suite in
+    ``tests/api`` proves the equivalence.  An abandoned stream charges
+    only the pages it actually pulled, which is where a row limit's
+    early-exit saving comes from.
+
+    Peak record residency is one page: nothing is accumulated across
+    pages.  I/O accounting is tallied per read (under ``io_lock`` when
+    one is given, so sharded streams serialize their charged reads with
+    the gather path's); the workload recorder is notified exactly once,
+    when the stream finishes or is closed, with the I/O actually
+    incurred.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        layout: PageLayout,
+        plan: QueryPlan,
+        reader: Callable[[int], Any],
+        pool: Optional[BufferPool] = None,
+        pool_in_path: bool = False,
+        io_lock: Optional[threading.Lock] = None,
+        recorder=None,
+    ):
+        self._disk = disk
+        self._layout = layout
+        self._plan = plan
+        self._reader = reader
+        self._pool = pool
+        self._pool_in_path = pool_in_path
+        self._io_lock = io_lock
+        self._recorder = recorder
+        self._seeks = 0
+        self._sequential = 0
+        self._over_read = 0
+        self._records = 0
+        self._cold = 0
+        self._recorded = False
+        self._total_pages = sum(
+            last - first + 1
+            for first, last in resolved_spans(plan, layout)
+            if last >= first
+        )
+        self._pages_pulled = 0
+        self._gen = self._run()
+
+    # ------------------------------------------------------------------
+    # Accounting (live while streaming, final once drained/closed)
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> QueryPlan:
+        """The plan being streamed."""
+        return self._plan
+
+    @property
+    def seeks(self) -> int:
+        """Seeks charged so far."""
+        return self._seeks
+
+    @property
+    def sequential_reads(self) -> int:
+        """Sequential page reads charged so far."""
+        return self._sequential
+
+    @property
+    def pages_read(self) -> int:
+        """Total pages pulled so far."""
+        return self._seeks + self._sequential
+
+    @property
+    def over_read(self) -> int:
+        """Records scanned but discarded in tolerated gaps, so far."""
+        return self._over_read
+
+    @property
+    def records_streamed(self) -> int:
+        """Region-matched records yielded so far."""
+        return self._records
+
+    @property
+    def cold_misses(self) -> Optional[int]:
+        """Buffer-pool misses so far (None when no pool is in the path)."""
+        return self._cold if self._pool_in_path else None
+
+    @property
+    def drained(self) -> bool:
+        """True once every page the plan scans has been pulled — the
+        stream cannot produce further records."""
+        return self._pages_pulled >= self._total_pages
+
+    def __iter__(self) -> Iterator[List[Record]]:
+        return self._gen
+
+    def _read(self, page_id: int):
+        """One charged page read, tallying the disk's stat deltas."""
+        stats = self._disk.stats
+        seeks_before = stats.seeks
+        seq_before = stats.sequential_reads
+        misses_before = self._pool.stats.misses if self._pool_in_path else 0
+        page = self._reader(page_id)
+        self._seeks += stats.seeks - seeks_before
+        self._sequential += stats.sequential_reads - seq_before
+        if self._pool_in_path:
+            self._cold += self._pool.stats.misses - misses_before
+        return page
+
+    def _run(self) -> Iterator[List[Record]]:
+        plan = self._plan
+        layout = self._layout
+        rect = plan.rect
+        lock = self._io_lock
+        try:
+            for (start, end), (first, last) in zip(
+                plan.scan_runs, resolved_spans(plan, layout)
+            ):
+                for position in range(first, last + 1):
+                    page_id = layout.page_ids[position]
+                    if lock is None:
+                        page = self._read(page_id)
+                    else:
+                        with lock:
+                            page = self._read(page_id)
+                    self._pages_pulled += 1
+                    matched: List[Record] = []
+                    self._over_read += scan_page(page, start, end, rect, matched)
+                    self._records += len(matched)
+                    yield matched
+        finally:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        """Report the realized I/O to the recorder, exactly once."""
+        if self._recorded:
+            return
+        self._recorded = True
+        if self._recorder is not None:
+            self._recorder.record_executed(
+                tuple(self._plan.rect.lengths),
+                seeks=self._seeks,
+                pages=self._seeks + self._sequential,
+                records=self._records,
+                over_read=self._over_read,
+                cold_misses=self._cold if self._pool_in_path else None,
+            )
+
+    def close(self) -> None:
+        """Stop the stream; tallies freeze and the recorder is notified.
+
+        Idempotent; a stream abandoned before its first page records
+        zero I/O (matching an execution that read nothing).
+        """
+        self._gen.close()
+        self._finalize()
+
+
 class Executor:
     """Executes plans against one flushed page layout.
 
@@ -270,6 +435,23 @@ class Executor:
                 ),
             )
         return result
+
+    def stream(self, plan: QueryPlan) -> PlanStream:
+        """Open a lazy page-at-a-time stream over ``plan``.
+
+        The streaming counterpart of :meth:`execute`: same reader, same
+        page sequence, identical accounting when fully drained, but one
+        page of records resident at a time and early-exit on abandon.
+        """
+        return PlanStream(
+            self._disk,
+            self._layout,
+            plan,
+            self._reader,
+            pool=self._pool,
+            pool_in_path=self._pool_in_path,
+            recorder=self._recorder,
+        )
 
     def execute_batch(self, plans: Sequence[QueryPlan]) -> BatchResult:
         """Run a workload of plans as one shared, key-ordered scan.

@@ -54,6 +54,7 @@ from ..storage.disk import SimulatedDisk, replay_reads
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .executor import (
     BatchResult,
+    PlanStream,
     RangeQueryResult,
     Record,
     execution_order,
@@ -75,6 +76,7 @@ __all__ = [
     "ShardedRangeQueryResult",
     "clip_runs",
     "makespan",
+    "scatter_plan",
 ]
 
 #: A shard is an inclusive key interval (mirrors ``repro.index.partition``).
@@ -99,6 +101,56 @@ def clip_runs(runs: Sequence[KeyRun], shard: Shard) -> List[KeyRun]:
         for start, end in runs
         if start <= hi and end >= lo
     ]
+
+
+def scatter_plan(
+    plan: QueryPlan,
+    shards: Sequence[Shard],
+    fanout_cost: float = DEFAULT_FANOUT_COST,
+    layout: Optional[PageLayout] = None,
+) -> "ShardedPlan":
+    """Scatter one global plan across ``shards``: clip its runs into
+    per-shard :class:`ShardFragment` plans and bundle a :class:`ShardedPlan`.
+
+    The single statement of the clipping rule, shared by
+    :meth:`ShardedPlanner.plan` and the :mod:`repro.api` layer's
+    merged multi-rect plans, so every plan shape scatters identically.
+    Gap merging must already have happened on the global plan (clips
+    are taken from its ``scan_runs``), so a tolerated gap spanning a
+    shard boundary behaves exactly as it would unsharded.
+    """
+    fragments = []
+    for shard_id, shard in enumerate(shards):
+        scan_runs = clip_runs(plan.scan_runs, shard)
+        if not scan_runs:
+            continue
+        runs = clip_runs(plan.runs, shard)
+        page_spans = (
+            tuple(layout.span(start, end) for start, end in scan_runs)
+            if layout is not None
+            else None
+        )
+        fragments.append(
+            ShardFragment(
+                shard_id=shard_id,
+                shard=shard,
+                plan=QueryPlan(
+                    curve=plan.curve,
+                    rect=plan.rect,
+                    policy=plan.policy,
+                    runs=tuple(runs),
+                    scan_runs=tuple(scan_runs),
+                    page_spans=page_spans,
+                    cost_model=plan.cost_model,
+                ),
+            )
+        )
+    return ShardedPlan(
+        plan=plan,
+        fragments=tuple(fragments),
+        shards=tuple(shards),
+        fanout_cost=fanout_cost,
+    )
 
 
 def makespan(costs: Iterable[float], workers: Optional[int] = None) -> float:
@@ -402,38 +454,7 @@ class ShardedPlanner:
         would unsharded.
         """
         plan = self._planner.plan(rect, policy, layout)
-        fragments = []
-        for shard_id, shard in enumerate(self._shards):
-            scan_runs = clip_runs(plan.scan_runs, shard)
-            if not scan_runs:
-                continue
-            runs = clip_runs(plan.runs, shard)
-            page_spans = (
-                tuple(layout.span(start, end) for start, end in scan_runs)
-                if layout is not None
-                else None
-            )
-            fragments.append(
-                ShardFragment(
-                    shard_id=shard_id,
-                    shard=shard,
-                    plan=QueryPlan(
-                        curve=plan.curve,
-                        rect=rect,
-                        policy=policy,
-                        runs=tuple(runs),
-                        scan_runs=tuple(scan_runs),
-                        page_spans=page_spans,
-                        cost_model=plan.cost_model,
-                    ),
-                )
-            )
-        return ShardedPlan(
-            plan=plan,
-            fragments=tuple(fragments),
-            shards=self._shards,
-            fanout_cost=self._fanout_cost,
-        )
+        return scatter_plan(plan, self._shards, self._fanout_cost, layout)
 
     def plan_many(
         self,
@@ -727,6 +748,29 @@ class ScatterGatherExecutor:
             over_read=over_read,
             per_shard=tuple(per_shard),
             fanout_cost=splan.fanout_cost,
+        )
+
+    def stream(self, splan) -> PlanStream:
+        """Open a lazy page-at-a-time stream over a sharded (or bare) plan.
+
+        Streams the *global* plan's pages in key order — the exact
+        sequence the gather pass charges, so a fully drained stream's
+        accounting is identical to :meth:`execute` (and to the single
+        index), and record order matches the shard-ordered gather
+        because shards are ascending key intervals.  Each charged read
+        briefly takes the shared I/O lock, so concurrent queries on the
+        same disk keep deterministic seek accounting per read.
+        """
+        plan = splan.plan if isinstance(splan, ShardedPlan) else splan
+        return PlanStream(
+            self._disk,
+            self._layout,
+            plan,
+            self._reader,
+            pool=self._pool,
+            pool_in_path=self._pool_in_path,
+            io_lock=self._io_lock,
+            recorder=self._recorder,
         )
 
     def execute_batch(self, splans: Sequence[ShardedPlan]) -> ShardedBatchResult:

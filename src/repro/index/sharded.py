@@ -16,6 +16,13 @@ global :class:`~repro.engine.plan.PageLayout`: flushing walks the shards
 in key order and packs pages *across* shard boundaries, which makes the
 layout byte-for-byte the one the unsharded :class:`SFCIndex` builds.
 
+The serving facade itself — updates, point lookups, flush, planning,
+the :class:`~repro.api.Query`/:class:`~repro.api.Cursor`/kNN front
+door, the legacy range-query signatures and online migration — is the
+shared :class:`~repro.api.store.SpatialStore` implementation; this
+module contributes only the sharded topology: key-routed trees,
+per-shard counts, scatter planning, and snapshot/locking discipline.
+
 Queries scatter and gather through :mod:`repro.engine.scatter`: the
 :class:`~repro.engine.scatter.ShardedPlanner` clips the global plan to
 per-shard fragments and the
@@ -34,23 +41,20 @@ stale-layout plan.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..api.store import SpatialStore, pack_layout
 from ..curves.base import SpaceFillingCurve
 from ..engine.cache import PlanCache
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
 from ..engine.executor import Record
-from ..engine.plan import ExecutionPolicy, PageLayout
+from ..engine.plan import PageLayout
 from ..engine.scatter import (
     DEFAULT_FANOUT_COST,
     ScatterGatherExecutor,
     Shard,
-    ShardedBatchResult,
-    ShardedPlan,
     ShardedPlanner,
-    ShardedRangeQueryResult,
+    scatter_plan,
 )
 from ..errors import InvalidQueryError
 from ..geometry import Rect
@@ -58,19 +62,19 @@ from ..storage.bplustree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 from .partition import balanced_shards, equal_key_shards, shard_of_key
-from .spatial import keyed_records, pack_layout
 
 __all__ = ["ShardedSFCIndex"]
 
 
-class ShardedSFCIndex:
+class ShardedSFCIndex(SpatialStore):
     """A spatial index sharded into contiguous curve-key intervals.
 
     Drop-in for :class:`~repro.index.spatial.SFCIndex` on the query
-    side — ``range_query`` / ``range_query_batch`` return results whose
-    records and serial I/O totals are *identical* to the single index —
-    with per-shard write paths, scatter–gather execution and parallel
-    cost attribution on top.
+    side — the whole :class:`~repro.api.store.SpatialStore` surface,
+    with ``range_query`` / ``range_query_batch`` returning results
+    whose records and serial I/O totals are *identical* to the single
+    index — plus per-shard write paths, scatter–gather execution and
+    parallel cost attribution on top.
 
     Parameters
     ----------
@@ -143,19 +147,20 @@ class ShardedSFCIndex:
         self._epoch = 0
         self._version = 0
         self._lock = threading.RLock()
+        #: The SpatialStore mutex: every mutation, snapshot and
+        #: point lookup serializes on the index lock.
+        self._mutex = self._lock
         # One I/O lock shared by every executor generation: a query that
         # snapshotted the previous executor must still serialize its
         # charged reads with queries on the new one (same disk).
         self._io_lock = threading.Lock()
+        #: Pool clears during a layout swap happen under the I/O lock —
+        #: a previous-generation query may be mid-read through the pool.
+        self._pool_guard = self._io_lock
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    @property
-    def curve(self) -> SpaceFillingCurve:
-        """The curve keying this index."""
-        return self._curve
-
     @property
     def shards(self) -> Tuple[Shard, ...]:
         """The shard map (inclusive key intervals, ascending)."""
@@ -165,51 +170,6 @@ class ShardedSFCIndex:
     def num_shards(self) -> int:
         """Number of shards in the map."""
         return len(self._planner.shards)
-
-    @property
-    def disk(self) -> SimulatedDisk:
-        """The shared simulated disk all shards' pages live on."""
-        return self._disk
-
-    @property
-    def planner(self) -> ShardedPlanner:
-        """The scatter planner producing this index's sharded plans."""
-        return self._planner
-
-    @property
-    def plan_cache(self) -> Optional[PlanCache]:
-        """The LRU plan cache, when enabled (thread-safe)."""
-        return self._plan_cache
-
-    @property
-    def page_layout(self) -> Optional[PageLayout]:
-        """Global key layout of the flushed pages (None until a flush)."""
-        return self._layout
-
-    @property
-    def executor(self) -> Optional[ScatterGatherExecutor]:
-        """The scatter–gather executor bound to the current layout."""
-        return self._executor
-
-    @property
-    def cost_model(self) -> CostModel:
-        """The cost model pricing this index's plans."""
-        return self._cost_model
-
-    @property
-    def epoch(self) -> int:
-        """Layout generation counter (bumped by every flush/rebalance)."""
-        return self._epoch
-
-    @property
-    def buffer_pool(self) -> Optional[BufferPool]:
-        """The LRU pool absorbing warm gather reads, when configured."""
-        return self._pool
-
-    @property
-    def recorder(self):
-        """The workload recorder observing this index's traffic (or None)."""
-        return self._recorder
 
     @property
     def _migration_lock(self):
@@ -231,153 +191,33 @@ class ShardedSFCIndex:
             return shard_of_key(self._planner.shards, self._curve.index(point))
 
     # ------------------------------------------------------------------
-    # Updates (routed by shard_of_key)
+    # Storage primitives (the SpatialStore contract, key-routed)
     # ------------------------------------------------------------------
-    def _append_record(self, key: int, record: Record) -> None:
-        shard_id = shard_of_key(self._planner.shards, key)
-        tree = self._trees[shard_id]
-        bucket = tree.get(key)
-        if bucket is None:
-            tree.insert(key, [record])
-        else:
-            bucket.append(record)
-        self._counts[shard_id] += 1
+    def _tree_for_key(self, key: int) -> BPlusTree:
+        return self._trees[shard_of_key(self._planner.shards, key)]
 
-    def insert(self, point: Sequence[int], payload: Any = None) -> None:
-        """Add a record at ``point``, routed to its shard's write path.
+    def _count_delta(self, key: int, delta: int) -> None:
+        self._counts[shard_of_key(self._planner.shards, key)] += delta
 
-        The key is computed under the lock: a migration cutover may swap
-        the curve, and a key minted under the outgoing curve must never
-        land in the incoming curve's trees.
-        """
-        with self._lock:
-            key = self._curve.index(point)
-            self._append_record(key, Record(tuple(int(c) for c in point), payload))
-            self._version += 1
-            self._invalidate_layout()
+    def _flush_entries(self):
+        """Every shard's records in shard order — which is global key
+        order, since shards are ascending intervals — so pages pack
+        *across* shard boundaries exactly like the single index's."""
+        return (
+            (key, record)
+            for tree in self._trees
+            for key, bucket in tree.items()
+            for record in bucket
+        )
 
-    def bulk_load(
-        self,
-        points: Iterable[Sequence[int]],
-        payloads: Optional[Iterable[Any]] = None,
-    ) -> None:
-        """Insert many points, keys vectorized, each routed to its shard.
-
-        Same contract as :meth:`SFCIndex.bulk_load` (the two share the
-        :func:`~repro.index.spatial.keyed_records` front half): extra
-        payloads are ignored, running out of payloads mid-load is an
-        error.
-        """
-        curve = self._curve
-        entries = keyed_records(curve, points, payloads)
-        if not entries:
-            return
-        with self._lock:
-            if self._curve != curve:
-                # A migration cut over while we were keying outside the
-                # lock; re-key the already-validated cells (rare race).
-                cells = np.asarray([record.point for _, record in entries])
-                keys = self._curve.index_many(cells)
-                entries = [
-                    (int(key), record) for key, (_, record) in zip(keys, entries)
-                ]
-            for key, record in entries:
-                self._append_record(key, record)
-            self._version += 1
-            self._invalidate_layout()
-
-    def delete(self, point: Sequence[int], payload: Any = None) -> bool:
-        """Remove one record matching ``point`` (and ``payload``, if given).
-
-        Keyed under the lock, like :meth:`insert` — a stale-curve key
-        would silently miss (or hit the wrong) bucket after a cutover.
-        """
-        with self._lock:
-            key = self._curve.index(point)
-            shard_id = shard_of_key(self._planner.shards, key)
-            tree = self._trees[shard_id]
-            bucket = tree.get(key)
-            if not bucket:
-                return False
-            for i, record in enumerate(bucket):
-                if payload is None or record.payload == payload:
-                    bucket.pop(i)
-                    break
-            else:
-                return False
-            if not bucket:
-                tree.delete(key)
-            self._counts[shard_id] -= 1
-            self._version += 1
-            self._invalidate_layout()
-            return True
-
-    def point_query(self, point: Sequence[int]) -> List[Record]:
-        """All records stored exactly at ``point`` (single-shard path)."""
-        with self._lock:
-            key = self._curve.index(point)
-            bucket = self._trees[shard_of_key(self._planner.shards, key)].get(key)
-            return list(bucket) if bucket else []
-
-    # ------------------------------------------------------------------
-    # Layout (shared storage, packed across shard boundaries)
-    # ------------------------------------------------------------------
-    def _invalidate_layout(self) -> None:
-        """Drop the flushed layout (callers hold the lock).
-
-        The retired executor's filter pool is closed; a query that
-        already snapshotted it finishes inline.
-        """
-        self._layout = None
+    def _retire_executor(self) -> None:
+        """Close the outgoing executor's filter pool (callers hold the
+        lock); a query that already snapshotted it finishes inline."""
         if self._executor is not None:
             self._executor.close()
-            self._executor = None
 
-    def flush(self) -> None:
-        """Lay every shard's records out on the shared disk in key order.
-
-        Shards are walked in shard order — which is global key order,
-        since shards are ascending intervals — and pages are packed
-        *across* shard boundaries by the same
-        :func:`~repro.index.spatial.pack_layout` the single index
-        flushes through, so the resulting layout is identical to the
-        one an unsharded index over the same records builds.  Bumps the
-        layout epoch and invalidates the plan cache.
-        """
-        with self._lock:
-            if self._executor is not None:
-                self._executor.close()
-            layout = pack_layout(
-                self._disk,
-                self._page_capacity,
-                (
-                    (key, record)
-                    for tree in self._trees
-                    for key, bucket in tree.items()
-                    for record in bucket
-                ),
-            )
-            self._install_layout(layout)
-
-    def _install_layout(self, layout: PageLayout) -> None:
-        """Make ``layout`` the served generation (callers hold the lock).
-
-        Bumps the epoch, drops everything referring to the previous
-        layout and binds a fresh executor.  The single statement of the
-        install protocol, shared by :meth:`flush` and the migration
-        cutover so the two paths cannot drift apart.  The pool is
-        cleared under the I/O lock: a query of the previous generation
-        may be mid-read through it, and BufferPool's check-then-access
-        is not atomic against a clear.
-        """
-        self._layout = layout
-        self._epoch += 1
-        if self._pool is not None:
-            with self._io_lock:
-                self._pool.invalidate()
-        if self._plan_cache is not None:
-            self._plan_cache.invalidate()
-        self._executor = ScatterGatherExecutor(
+    def _make_executor(self, layout: PageLayout) -> ScatterGatherExecutor:
+        return ScatterGatherExecutor(
             self._disk,
             layout,
             max_workers=self._max_workers,
@@ -391,6 +231,27 @@ class ShardedSFCIndex:
         if self._layout is None or self._executor is None:
             self.flush()
         return self._executor
+
+    def _snapshot(self):
+        """Atomic (planner, layout, executor, epoch) for one generation.
+
+        Taken under the lock so planning and execution never mix layout
+        generations; everything expensive then runs outside the lock —
+        a consistent snapshot stays readable after a reflush because the
+        simulated disk is append-only.
+        """
+        with self._lock:
+            self._ensure_flushed()
+            return self._planner, self._layout, self._executor, self._epoch
+
+    def _merge_snapshot(self, plans, planner, layout: PageLayout):
+        """Merge per-rect sharded plans into one union plan, re-scattered
+        across the snapshot's shard map so fragments and fan-out pricing
+        reflect the deduplicated union scan."""
+        from ..api.store import merge_plans
+
+        merged = merge_plans([splan.plan for splan in plans], layout)
+        return scatter_plan(merged, planner.shards, planner.fanout_cost, layout)
 
     # ------------------------------------------------------------------
     # Rebalancing
@@ -434,121 +295,17 @@ class ShardedSFCIndex:
             return self._planner.shards
 
     # ------------------------------------------------------------------
-    # Planning
-    # ------------------------------------------------------------------
-    def _snapshot(self):
-        """Atomic (planner, layout, executor, epoch) for one generation.
-
-        Taken under the lock so planning and execution never mix layout
-        generations; everything expensive then runs outside the lock —
-        a consistent snapshot stays readable after a reflush because the
-        simulated disk is append-only.
-        """
-        with self._lock:
-            self._ensure_flushed()
-            return self._planner, self._layout, self._executor, self._epoch
-
-    def _plan_snapshot(
-        self,
-        planner: ShardedPlanner,
-        layout: PageLayout,
-        epoch: int,
-        rect: Rect,
-        policy: ExecutionPolicy,
-    ) -> ShardedPlan:
-        """Plan against one snapshot, memoized per ``(epoch, rect, policy)``.
-
-        The epoch in the cache key means a plan computed against an old
-        layout can never be served — or poison the cache — after a
-        reflush swaps the layout.
-        """
-        rect.check_fits(self._curve.side)
-        if self._plan_cache is None:
-            return planner.plan(rect, policy, layout=layout)
-        key = (epoch, self._curve, rect, policy)
-        splan = self._plan_cache.get(key)
-        if splan is None:
-            splan = planner.plan(rect, policy, layout=layout)
-            self._plan_cache.put(key, splan)
-        return splan
-
-    def plan(
-        self,
-        rect: Rect,
-        gap_tolerance: int = 0,
-        policy: Optional[ExecutionPolicy] = None,
-    ) -> ShardedPlan:
-        """Scatter-plan ``rect`` against the current layout (cached)."""
-        if policy is None:
-            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
-        planner, layout, _, epoch = self._snapshot()
-        return self._plan_snapshot(planner, layout, epoch, rect, policy)
-
-    def explain(self, rect: Rect, gap_tolerance: int = 0) -> str:
-        """Shard-aware EXPLAIN for ``rect``."""
-        return self.plan(rect, gap_tolerance=gap_tolerance).explain()
-
-    # ------------------------------------------------------------------
-    # Range queries
-    # ------------------------------------------------------------------
-    def range_query(
-        self, rect: Rect, gap_tolerance: int = 0
-    ) -> ShardedRangeQueryResult:
-        """All records inside ``rect`` via scatter–gather execution.
-
-        Observationally identical to :meth:`SFCIndex.range_query` on the
-        same records — same record list, seeks and pages read — with the
-        per-shard breakdown and parallel cost attribution on top.  The
-        plan/executor snapshot is taken atomically (planning itself runs
-        outside the lock), so a query admitted after a flush always runs
-        against the new layout and never blocks writers while planning.
-        """
-        policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
-        planner, layout, executor, epoch = self._snapshot()
-        splan = self._plan_snapshot(planner, layout, epoch, rect, policy)
-        return executor.execute(splan)
-
-    def range_query_batch(
-        self,
-        rects: Sequence[Rect],
-        gap_tolerance: int = 0,
-        policy: Optional[ExecutionPolicy] = None,
-    ) -> ShardedBatchResult:
-        """Execute a workload of rect queries as one key-ordered scan.
-
-        Canonical totals equal :meth:`SFCIndex.range_query_batch`; the
-        per-shard totals additionally share scans *per shard* across the
-        batch (a page a shard already served is free for it).  The whole
-        workload is planned against one atomic snapshot, outside the
-        index lock, so a large batch never stalls writers.
-        """
-        if policy is None:
-            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
-        planner, layout, executor, epoch = self._snapshot()
-        splans = [
-            self._plan_snapshot(planner, layout, epoch, rect, policy)
-            for rect in rects
-        ]
-        return executor.execute_batch(splans)
-
-    # ------------------------------------------------------------------
     # Online migration (the adaptive control plane's data-plane hooks)
     # ------------------------------------------------------------------
     def _migration_snapshot(self) -> Tuple[int, List[Tuple[int, Record]]]:
         """A consistent ``(version, [(key, record)])`` view of the contents.
 
-        Taken under the index lock, walking the shards in shard order —
-        which is global key order — so the snapshot is exactly what a
-        flush would pack.
+        Taken under the index lock, walking :meth:`_flush_entries` —
+        shard order, which is global key order — so the snapshot is
+        exactly what a flush would pack.
         """
         with self._lock:
-            entries = [
-                (key, record)
-                for tree in self._trees
-                for key, bucket in tree.items()
-                for record in bucket
-            ]
-            return self._version, entries
+            return self._version, list(self._flush_entries())
 
     def _migration_cutover(
         self,
@@ -563,7 +320,7 @@ class ShardedSFCIndex:
         every record is re-routed through the *current* shard map (key
         intervals are curve-independent — the key space size is
         unchanged), the shadow layout is packed across shard boundaries
-        by the same :func:`~repro.index.spatial.pack_layout` a fresh
+        by the same :func:`~repro.api.store.pack_layout` a fresh
         bulk load flushes through — which is what keeps the migrated
         index shard-transparent — and the epoch bump retires every
         cached plan of the old generation.
@@ -571,8 +328,7 @@ class ShardedSFCIndex:
         with self._lock:
             if self._version != expected_version:
                 return False
-            if self._executor is not None:
-                self._executor.close()
+            self._retire_executor()
             shard_map = self._planner.shards
             trees = [BPlusTree(order=self._tree_order) for _ in shard_map]
             counts = [0] * len(shard_map)
@@ -598,17 +354,3 @@ class ShardedSFCIndex:
             self._counts = counts
             self._install_layout(layout)
             return True
-
-    def migrate_to(self, curve: SpaceFillingCurve, batch_size: int = 4096):
-        """Re-key every shard onto ``curve`` and cut over (online migration).
-
-        Convenience front end to
-        :class:`~repro.adaptive.OnlineMigrator`; returns its
-        :class:`~repro.adaptive.MigrationReport`.  Queries keep serving
-        the old layout while records are re-keyed; only the final
-        cutover (and, under write contention, the last retry) holds the
-        index lock.
-        """
-        from ..adaptive.migrator import OnlineMigrator
-
-        return OnlineMigrator(batch_size=batch_size).migrate(self, curve)

@@ -5,34 +5,43 @@ mapped to 1-D keys by a space filling curve, stored in a B+-tree for
 updates and point lookups, and flushed to a simulated disk in key order
 for scans.
 
-Range queries go through the :mod:`repro.engine` planner/executor split:
-:meth:`SFCIndex.plan` produces an immutable
-:class:`~repro.engine.plan.QueryPlan` (the query's exact key runs, their
-page spans and the predicted seek count — the paper's clustering number
-whenever runs do not share pages, which the integration tests assert),
-:meth:`SFCIndex.explain` renders it, and the executor turns it into page
-reads.  Plans are memoized in an LRU :class:`~repro.engine.cache.PlanCache`
-keyed by ``(curve, rect, policy)``; :meth:`SFCIndex.range_query_batch`
-executes whole workloads in key order to trade inter-query seeks for
-sequential reads.  :meth:`SFCIndex.range_query` remains the one-call
-facade with the historical signature.
+The serving facade — updates, point lookups, flush, planning, EXPLAIN,
+range queries, the composable :class:`~repro.api.Query` front door with
+streaming :class:`~repro.api.Cursor` results and kNN, and online
+migration — lives on the shared :class:`~repro.api.store.SpatialStore`
+base (one implementation for this class and
+:class:`~repro.index.sharded.ShardedSFCIndex`).  This module implements
+only the single-node storage topology: one B+-tree, one record count,
+one :class:`~repro.engine.executor.Executor` per layout generation, and
+snapshots that need no locking because the single index is not
+thread-safe.
+
+Range queries go through the :mod:`repro.engine` planner/executor
+split: :meth:`SFCIndex.plan` produces an immutable
+:class:`~repro.engine.plan.QueryPlan` (the query's exact key runs,
+their page spans and the predicted seek count — the paper's clustering
+number whenever runs do not share pages, which the integration tests
+assert), :meth:`SFCIndex.explain` renders it, and the executor turns it
+into page reads.  Plans are memoized in an LRU
+:class:`~repro.engine.cache.PlanCache` keyed by ``(epoch, curve, rect,
+policy)``; :meth:`SFCIndex.range_query_batch` executes whole workloads
+in key order to trade inter-query seeks for sequential reads.
+:meth:`SFCIndex.range_query` remains the one-call facade with the
+historical signature.
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-import numpy as np
-
+from ..api.store import SpatialStore, keyed_records, pack_layout
 from ..curves.base import SpaceFillingCurve
 from ..engine.cache import PlanCache
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
-from ..engine.executor import BatchResult, Executor, RangeQueryResult, Record
-from ..engine.plan import ExecutionPolicy, PageLayout, QueryPlan
+from ..engine.executor import Executor, RangeQueryResult, Record
+from ..engine.plan import PageLayout
 from ..engine.planner import Planner
-from ..errors import InvalidQueryError, OutOfUniverseError
-from ..geometry import Rect
+from ..errors import InvalidQueryError
 from ..storage.bplustree import BPlusTree
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
@@ -40,80 +49,7 @@ from ..storage.disk import SimulatedDisk
 __all__ = ["Record", "RangeQueryResult", "SFCIndex", "keyed_records", "pack_layout"]
 
 
-def keyed_records(
-    curve: SpaceFillingCurve,
-    points: Iterable[Sequence[int]],
-    payloads: Optional[Iterable[Any]] = None,
-) -> List[Tuple[int, Record]]:
-    """Pair ``points`` with ``payloads`` and key them under ``curve``.
-
-    The shared bulk-load front half — payload pairing rules (extras
-    ignored so infinite iterators work, exhaustion mid-load is an
-    error), dimension validation, and one vectorized ``index_many``
-    call — used by both the single and the sharded index so their
-    ingestion semantics can never drift apart.
-    """
-    cells: List[Tuple[int, ...]] = []
-    attached: List[Any] = []
-    if payloads is None:
-        cells = [tuple(int(c) for c in point) for point in points]
-        attached = [None] * len(cells)
-    else:
-        payload_iter = iter(payloads)
-        for point in points:
-            try:
-                payload = next(payload_iter)
-            except StopIteration:
-                raise InvalidQueryError(
-                    f"payloads exhausted after {len(cells)} points"
-                ) from None
-            cells.append(tuple(int(c) for c in point))
-            attached.append(payload)
-    if not cells:
-        return []
-    dim = curve.dim
-    if any(len(cell) != dim for cell in cells):
-        bad = next(cell for cell in cells if len(cell) != dim)
-        raise OutOfUniverseError(
-            f"cell {bad!r} outside {dim}-d universe of side {curve.side}"
-        )
-    keys = curve.index_many(np.asarray(cells, dtype=np.int64))
-    return [
-        (int(key), Record(cell, payload))
-        for key, cell, payload in zip(keys, cells, attached)
-    ]
-
-
-def pack_layout(
-    disk: SimulatedDisk,
-    page_capacity: int,
-    records: Iterable[Tuple[int, Record]],
-) -> PageLayout:
-    """Pack ``(key, record)`` pairs (ascending keys) into disk pages.
-
-    The single statement of the flush packing rule — pages filled to
-    ``page_capacity``, first/last keys recorded for binary-searchable
-    scans — shared by both indexes; the sharded index's
-    byte-identical-layout guarantee (and with it shard transparency)
-    rests on the two flush paths using this one function.
-    """
-    layout = PageLayout()
-    page: List[Tuple[int, Record]] = []
-    for key, record in records:
-        if not page:
-            layout.first_keys.append(key)
-        page.append((key, record))
-        if len(page) == page_capacity:
-            layout.last_keys.append(key)
-            layout.page_ids.append(disk.allocate(page))
-            page = []
-    if page:
-        layout.last_keys.append(page[-1][0])
-        layout.page_ids.append(disk.allocate(page))
-    return layout
-
-
-class SFCIndex:
+class SFCIndex(SpatialStore):
     """A spatial index keyed by a space filling curve.
 
     Parameters
@@ -169,263 +105,52 @@ class SFCIndex:
         #: Content version, bumped by every write; the migration protocol
         #: uses it to detect writes racing an optimistic re-key pass.
         self._version = 0
-        #: The single index is not thread-safe, so migration needs no real
-        #: lock — the field exists to satisfy the migration protocol.
-        self._migration_lock = nullcontext()
-
-    @property
-    def curve(self) -> SpaceFillingCurve:
-        """The curve keying this index."""
-        return self._curve
-
-    @property
-    def disk(self) -> SimulatedDisk:
-        """The simulated disk backing flushed scans."""
-        return self._disk
-
-    @property
-    def buffer_pool(self) -> Optional[BufferPool]:
-        """The LRU pool absorbing re-reads, when configured."""
-        return self._pool
-
-    @property
-    def planner(self) -> Planner:
-        """The planner producing this index's query plans."""
-        return self._planner
-
-    @property
-    def plan_cache(self) -> Optional[PlanCache]:
-        """The LRU plan cache, when enabled."""
-        return self._plan_cache
-
-    @property
-    def page_layout(self) -> Optional[PageLayout]:
-        """Key layout of the flushed pages (None until a flush)."""
-        return self._layout
-
-    @property
-    def executor(self) -> Optional[Executor]:
-        """The executor bound to the current layout (None until a flush)."""
-        return self._executor
-
-    @property
-    def cost_model(self) -> CostModel:
-        """The cost model pricing this index's plans."""
-        return self._cost_model
-
-    @property
-    def recorder(self):
-        """The workload recorder observing this index's traffic (or None)."""
-        return self._recorder
-
-    @property
-    def epoch(self) -> int:
-        """Layout generation counter (bumped by every flush/migration)."""
-        return self._epoch
 
     def __len__(self) -> int:
         return self._count
 
     # ------------------------------------------------------------------
-    # Updates
+    # Storage primitives (the SpatialStore contract)
     # ------------------------------------------------------------------
-    def _append_record(self, key: int, record: Record) -> None:
-        """Append one record to its key bucket (no layout bookkeeping)."""
-        bucket = self._tree.get(key)
-        if bucket is None:
-            self._tree.insert(key, [record])
-        else:
-            bucket.append(record)
+    def _tree_for_key(self, key: int) -> BPlusTree:
+        return self._tree
 
-    def insert(self, point: Sequence[int], payload: Any = None) -> None:
-        """Add a record at ``point``; multiple records per cell are allowed."""
-        key = self._curve.index(point)
-        self._append_record(key, Record(tuple(int(c) for c in point), payload))
-        self._count += 1
-        self._version += 1
-        self._invalidate_layout()  # on-disk layout is stale
+    def _count_delta(self, key: int, delta: int) -> None:
+        self._count += delta
 
-    def bulk_load(
-        self,
-        points: Iterable[Sequence[int]],
-        payloads: Optional[Iterable[Any]] = None,
-    ) -> None:
-        """Insert many points (paired with ``payloads`` when given).
+    def _flush_entries(self) -> Iterable[Tuple[int, Record]]:
+        return (
+            (key, record)
+            for key, bucket in self._tree.items()
+            for record in bucket
+        )
 
-        Keys are computed in one vectorized :meth:`index_many` call and
-        the on-disk layout is invalidated once at the end, instead of the
-        key-at-a-time / invalidate-per-insert cost of repeated
-        :meth:`insert` calls.  ``payloads`` may be longer than ``points``
-        (extras ignored, so infinite iterators work) but running out of
-        payloads mid-load is an error, not silent truncation.
-        """
-        entries = keyed_records(self._curve, points, payloads)
-        if not entries:
-            return
-        for key, record in entries:
-            self._append_record(key, record)
-        self._count += len(entries)
-        self._version += 1
-        self._invalidate_layout()
-
-    def delete(self, point: Sequence[int], payload: Any = None) -> bool:
-        """Remove one record matching ``point`` (and ``payload``, if given).
-
-        Returns True when a record was removed.
-        """
-        key = self._curve.index(point)
-        bucket = self._tree.get(key)
-        if not bucket:
-            return False
-        for i, record in enumerate(bucket):
-            if payload is None or record.payload == payload:
-                bucket.pop(i)
-                break
-        else:
-            return False
-        if not bucket:
-            self._tree.delete(key)
-        self._count -= 1
-        self._version += 1
-        self._invalidate_layout()
-        return True
-
-    def point_query(self, point: Sequence[int]) -> List[Record]:
-        """All records stored exactly at ``point`` (in-memory path)."""
-        key = self._curve.index(point)
-        bucket = self._tree.get(key)
-        return list(bucket) if bucket else []
-
-    # ------------------------------------------------------------------
-    # On-disk layout
-    # ------------------------------------------------------------------
-    def _invalidate_layout(self) -> None:
-        self._layout = None
-        self._executor = None
-
-    def _install_layout(self, layout: PageLayout) -> None:
-        """Make ``layout`` the served generation: bump the epoch, drop
-        everything that referred to the previous layout (buffer pool,
-        plan cache) and bind a fresh executor.  The single statement of
-        the install protocol, shared by :meth:`flush` and the migration
-        cutover so the two paths cannot drift apart.
-        """
-        self._layout = layout
-        self._epoch += 1
-        if self._pool is not None:
-            self._pool.invalidate()
-        if self._plan_cache is not None:
-            self._plan_cache.invalidate()
-        self._executor = Executor(
+    def _make_executor(self, layout: PageLayout) -> Executor:
+        return Executor(
             self._disk, layout, pool=self._pool, recorder=self._recorder
         )
-
-    def flush(self) -> None:
-        """Lay every record out on the simulated disk in curve-key order.
-
-        Pages are filled to ``page_capacity`` records; the page layout
-        records each page's first key for binary-searchable scans.  The
-        buffer pool and the plan cache are invalidated — both refer to
-        the previous layout.
-        """
-        layout = pack_layout(
-            self._disk,
-            self._page_capacity,
-            (
-                (key, record)
-                for key, bucket in self._tree.items()
-                for record in bucket
-            ),
-        )
-        self._install_layout(layout)
 
     def _ensure_flushed(self) -> Executor:
         if self._layout is None or self._executor is None:
             self.flush()
         return self._executor
 
-    # ------------------------------------------------------------------
-    # Planning
-    # ------------------------------------------------------------------
-    def plan(
-        self,
-        rect: Rect,
-        gap_tolerance: int = 0,
-        policy: Optional[ExecutionPolicy] = None,
-    ) -> QueryPlan:
-        """Plan ``rect`` against the current layout (flushing if stale).
-
-        Pass either ``gap_tolerance`` (convenience) or an explicit
-        ``policy``; the policy wins when both are given.  Plans are
-        memoized per ``(curve, rect, policy)`` until the next reflush.
-        """
-        if policy is None:
-            policy = ExecutionPolicy(gap_tolerance=gap_tolerance)
-        rect.check_fits(self._curve.side)
+    def _snapshot(self):
+        """``(planner, layout, executor, epoch)`` — no lock needed; the
+        single index is documented as not thread-safe."""
         self._ensure_flushed()
-        if self._plan_cache is None:
-            return self._planner.plan(rect, policy, layout=self._layout)
-        key = (self._epoch, self._curve, rect, policy)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = self._planner.plan(rect, policy, layout=self._layout)
-            self._plan_cache.put(key, plan)
-        return plan
-
-    def explain(self, rect: Rect, gap_tolerance: int = 0) -> str:
-        """Human-readable plan for ``rect`` (the engine's EXPLAIN)."""
-        return self.plan(rect, gap_tolerance=gap_tolerance).explain()
-
-    # ------------------------------------------------------------------
-    # Range queries
-    # ------------------------------------------------------------------
-    def range_query(self, rect: Rect, gap_tolerance: int = 0) -> RangeQueryResult:
-        """All records inside ``rect`` plus the simulated I/O profile.
-
-        A thin facade over the engine: plans the query as exact key runs
-        (cached across repeats), then the executor scans each run's pages
-        sequentially (first page of a run costs a seek unless it directly
-        follows the previous read).
-
-        ``gap_tolerance > 0`` enables the relaxed retrieval model from the
-        paper's related work (Asano et al.): runs separated by at most
-        that many keys are scanned as one, trading over-read records
-        (reported in ``over_read``) for fewer seeks.
-        """
-        plan = self.plan(rect, gap_tolerance=gap_tolerance)
-        return self._ensure_flushed().execute(plan)
-
-    def range_query_batch(
-        self,
-        rects: Sequence[Rect],
-        gap_tolerance: int = 0,
-        policy: Optional[ExecutionPolicy] = None,
-    ) -> BatchResult:
-        """Execute a whole workload of rect queries in key order.
-
-        Plans every rect (hitting the plan cache for repeats), then runs
-        the plans sorted by first scanned key, so a query starting where
-        the previous one ended reads sequentially instead of seeking.
-        ``results[i]`` corresponds to ``rects[i]``.
-        """
-        executor = self._ensure_flushed()
-        plans = [
-            self.plan(rect, gap_tolerance=gap_tolerance, policy=policy)
-            for rect in rects
-        ]
-        return executor.execute_batch(plans)
+        return self._planner, self._layout, self._executor, self._epoch
 
     # ------------------------------------------------------------------
     # Online migration (the adaptive control plane's data-plane hooks)
     # ------------------------------------------------------------------
     def _migration_snapshot(self) -> Tuple[int, List[Tuple[int, Record]]]:
-        """A consistent ``(version, [(key, record)])`` view of the contents."""
-        entries = [
-            (key, record)
-            for key, bucket in self._tree.items()
-            for record in bucket
-        ]
-        return self._version, entries
+        """A consistent ``(version, [(key, record)])`` view of the contents.
+
+        Walks :meth:`_flush_entries` — the same key-ordered record walk
+        a flush packs — so the snapshot can never diverge from it.
+        """
+        return self._version, list(self._flush_entries())
 
     def _migration_cutover(
         self,
@@ -459,14 +184,3 @@ class SFCIndex:
         self._tree = tree
         self._install_layout(layout)
         return True
-
-    def migrate_to(self, curve: SpaceFillingCurve, batch_size: int = 4096):
-        """Re-key this index onto ``curve`` and cut over (online migration).
-
-        Convenience front end to
-        :class:`~repro.adaptive.OnlineMigrator`; returns its
-        :class:`~repro.adaptive.MigrationReport`.
-        """
-        from ..adaptive.migrator import OnlineMigrator
-
-        return OnlineMigrator(batch_size=batch_size).migrate(self, curve)

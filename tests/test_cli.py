@@ -62,6 +62,62 @@ class TestExplainCommand:
         assert "gap_tolerance=32" in out
 
 
+class TestQueryCommand:
+    def test_single_rect(self, capsys):
+        assert main(["query", "--curve", "onion", "--side", "16",
+                     "--rect", "2,3:10,11", "--points", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "executed:" in out
+        assert "seeks" in out
+
+    def test_multi_rect_union_with_limit(self, capsys):
+        assert main(["query", "--curve", "onion", "--side", "16",
+                     "--rect", "0,0:6,6", "--rect", "4,4:12,12",
+                     "--limit", "10", "--points", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "10 rows" in out
+        assert "[truncated by limit]" in out
+
+    def test_stream_reports_peak_residency(self, capsys):
+        assert main(["query", "--curve", "hilbert", "--side", "16",
+                     "--rect", "0,0:15,15", "--stream",
+                     "--points", "400", "--page-capacity", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "streamed:" in out
+        assert "peak page residency" in out
+
+    def test_sharded_service(self, capsys):
+        assert main(["query", "--curve", "onion", "--side", "16",
+                     "--rect", "1,1:9,9", "--shards", "3",
+                     "--points", "400"]) == 0
+        assert "executed:" in capsys.readouterr().out
+
+    def test_knn(self, capsys):
+        assert main(["query", "--curve", "onion", "--side", "16",
+                     "--knn", "5,5", "--k", "3", "--points", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "nearest" in out
+        assert "distance" in out
+
+    def test_rect_required_without_knn(self):
+        import pytest
+
+        from repro.errors import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            main(["query", "--curve", "onion", "--side", "16",
+                  "--points", "100"])
+
+    def test_malformed_rect_rejected(self):
+        import pytest
+
+        # argparse turns the InvalidQueryError (a ValueError) from
+        # _parse_rect into a usage error
+        with pytest.raises(SystemExit):
+            main(["query", "--curve", "onion", "--side", "16",
+                  "--rect", "2,3", "--points", "100"])
+
+
 class TestBatchCommand:
     def test_batch_reports_seek_comparison(self, capsys):
         assert main(["batch", "--curve", "hilbert", "--side", "16",

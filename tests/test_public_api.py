@@ -19,6 +19,11 @@ PUBLIC_MODULES = [
     "repro.engine.cache",
     "repro.engine.executor",
     "repro.engine.scatter",
+    "repro.api",
+    "repro.api.query",
+    "repro.api.store",
+    "repro.api.cursor",
+    "repro.api.knn",
     "repro.index.partition",
     "repro.index.sharded",
     "repro.experiments",
@@ -72,6 +77,23 @@ class TestTopLevelApi:
             QueryPlan,
             RangeQueryResult,
         )
+
+    def test_front_door_names_available(self):
+        from repro import (  # noqa: F401
+            Cursor,
+            CursorStats,
+            KNNResult,
+            Query,
+            QueryResult,
+            RectUnion,
+            SpatialStore,
+        )
+
+    def test_indexes_implement_the_store_protocol(self):
+        from repro import SFCIndex, ShardedSFCIndex, SpatialStore
+
+        assert issubclass(SFCIndex, SpatialStore)
+        assert issubclass(ShardedSFCIndex, SpatialStore)
 
     def test_public_callables_have_docstrings(self):
         import repro
