@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional, Sequence, Tuple
 
 from ..curves.base import SpaceFillingCurve
+from ..devtools.annotations import guarded_by
 from ..errors import InvalidQueryError
 from .drift import DriftDetector, DriftReport
 from .migrator import MigrationReport, OnlineMigrator
@@ -110,6 +111,7 @@ class AdaptiveController:
             raise InvalidQueryError(
                 f"event_log_size must be >= 1, got {event_log_size}"
             )
+        # guarded-by: _loop_lock
         self._events: Deque[AdaptationEvent] = deque(maxlen=event_log_size)
         # One check/migration at a time; serving threads calling
         # maybe_adapt concurrently must not race a double migration.
@@ -147,6 +149,7 @@ class AdaptiveController:
         with self._loop_lock:
             return self._events[-1].report if self._events else None
 
+    @guarded_by("_loop_lock")
     def _run_check_locked(self, force_migrate: bool) -> AdaptationEvent:
         """One check → (maybe) migrate → event, under the loop lock.
 

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
+from ..devtools.annotations import guarded_by
 from ..errors import InvalidQueryError
 
 __all__ = ["Observation", "WorkloadRecorder"]
@@ -90,21 +91,21 @@ class WorkloadRecorder:
                 f"half_life must be positive or None, got {half_life}"
             )
         self._lock = threading.Lock()
-        self._ring: Deque[Observation] = deque(maxlen=window)
+        self._ring: Deque[Observation] = deque(maxlen=window)  # guarded-by: _lock
         self._window = window
         self._half_life = half_life
         #: Per-event weight multiplier: each new event is worth
         #: ``2**(1/half_life)`` times the previous one, which is the same
         #: as decaying all old weights — without touching them.
         self._growth = 2.0 ** (1.0 / half_life) if half_life else 1.0
-        self._scale = 1.0
-        self._weights: Dict[Shape, float] = {}
-        self._executed = 0
-        self._planned = 0
-        self._planned_shapes: Dict[Shape, int] = {}
-        self._estimated_seeks: Dict[Shape, float] = {}
-        self._realized_seeks: Dict[Shape, float] = {}
-        self._realized_counts: Dict[Shape, int] = {}
+        self._scale = 1.0  # guarded-by: _lock
+        self._weights: Dict[Shape, float] = {}  # guarded-by: _lock
+        self._executed = 0  # guarded-by: _lock
+        self._planned = 0  # guarded-by: _lock
+        self._planned_shapes: Dict[Shape, int] = {}  # guarded-by: _lock
+        self._estimated_seeks: Dict[Shape, float] = {}  # guarded-by: _lock
+        self._realized_seeks: Dict[Shape, float] = {}  # guarded-by: _lock
+        self._realized_counts: Dict[Shape, int] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Hooks (called from the serving path)
@@ -173,6 +174,7 @@ class WorkloadRecorder:
                 del self._realized_counts[oldest]
                 self._realized_seeks.pop(oldest, None)
 
+    @guarded_by("_lock")
     def _renormalize_locked(self) -> None:
         """Fold the scale back into the weights; drop vanished shapes."""
         scale = self._scale

@@ -159,12 +159,26 @@ class Cursor:
             if query.predicate is None:
                 self._buffer.extend(page_records)
             else:
-                self._buffer.extend(
-                    record for record in page_records if query.predicate(record)
-                )
+                try:
+                    self._buffer.extend(
+                        record for record in page_records if query.predicate(record)
+                    )
+                except BaseException:
+                    # A raising user predicate abandons the stream — close
+                    # so the recorder is notified deterministically (and
+                    # exactly once) rather than whenever GC finalizes the
+                    # underlying generator.
+                    self.close()
+                    raise
         record = self._buffer.popleft()
+        try:
+            row = query.row(record)
+        except BaseException:
+            # Same contract for a raising projection.
+            self.close()
+            raise
         self._yielded += 1
-        return query.row(record)
+        return row
 
     def _more_possible(self) -> bool:
         """Did the limit stop us while rows may remain un-streamed?

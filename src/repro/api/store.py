@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.runs import merge_runs_with_gaps
 from ..curves.base import SpaceFillingCurve
+from ..devtools.annotations import guarded_by
 from ..engine.cost import CostModel
 from ..engine.executor import Record
 from ..engine.plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
@@ -190,18 +191,22 @@ class SpatialStore(abc.ABC):
     primitives (:meth:`_tree_for_key`, :meth:`_count_delta`,
     :meth:`_flush_entries`, :meth:`_make_executor`, :meth:`_snapshot`).
     Thread-safe stores additionally override the three lock hooks
-    (:attr:`_mutex`, :attr:`_pool_guard`, :attr:`_migration_lock`),
+    (:attr:`_mutex`, :attr:`_io_lock`, :attr:`_migration_lock`),
     which default to no-op context managers for single-threaded stores.
+    One canonical name per lock — the lock-discipline analyzer
+    (``repro lint``) resolves ``_migration_lock`` to ``_mutex`` and
+    enforces the ``_mutex`` → ``_io_lock`` acquisition order.
     """
 
     #: Context manager serializing mutations and snapshots (no-op by
-    #: default; the sharded store binds its re-entrant index lock).
+    #: default; the sharded store binds its re-entrant index mutex).
     _mutex = nullcontext()
-    #: Context manager held while clearing the buffer pool on a layout
-    #: swap (the sharded store binds its I/O lock — see
-    #: :meth:`_install_layout`).
-    _pool_guard = nullcontext()
-    #: The lock the migration protocol's final attempt holds.
+    #: Context manager serializing charged page reads; also held while
+    #: clearing the buffer pool on a layout swap (the sharded store
+    #: binds its I/O lock — see :meth:`_install_layout`).
+    _io_lock = nullcontext()
+    #: The lock the migration protocol's final attempt holds (the
+    #: store mutex on thread-safe stores).
     _migration_lock = nullcontext()
 
     # ------------------------------------------------------------------
@@ -291,6 +296,7 @@ class SpatialStore(abc.ABC):
     # ------------------------------------------------------------------
     # Updates (one write path)
     # ------------------------------------------------------------------
+    @guarded_by("_mutex")
     def _append_record(self, key: int, record: Record) -> None:
         """Append one record to its key bucket (callers hold the mutex)."""
         tree = self._tree_for_key(key)
@@ -301,6 +307,7 @@ class SpatialStore(abc.ABC):
             bucket.append(record)
         self._count_delta(key, +1)
 
+    @guarded_by("_mutex")
     def _note_write(self) -> None:
         """Bump the content version and drop the stale on-disk layout."""
         self._version += 1
@@ -391,26 +398,30 @@ class SpatialStore(abc.ABC):
     # ------------------------------------------------------------------
     # On-disk layout (one flush/install protocol)
     # ------------------------------------------------------------------
+    @guarded_by("_mutex")
     def _invalidate_layout(self) -> None:
         """Drop the flushed layout (callers hold the mutex)."""
         self._layout = None
         self._retire_executor()
         self._executor = None
 
+    @guarded_by("_mutex")
     def _install_layout(self, layout: PageLayout) -> None:
         """Make ``layout`` the served generation: bump the epoch, drop
         everything that referred to the previous layout (buffer pool,
         plan cache) and bind a fresh executor.  The single statement of
         the install protocol, shared by :meth:`flush` and the migration
         cutover so the two paths cannot drift apart.  The pool is
-        cleared under the pool guard: a query of the previous
+        cleared under the I/O lock: a query of the previous
         generation may be mid-read through it, and the pool's
-        check-then-access is not atomic against a clear.
+        check-then-access is not atomic against a clear.  (This is the
+        one site that takes ``_io_lock`` while holding ``_mutex`` — the
+        edge that fixes the canonical lock order.)
         """
         self._layout = layout
         self._epoch += 1
         if self._pool is not None:
-            with self._pool_guard:
+            with self._io_lock:
                 self._pool.invalidate()
         if self._plan_cache is not None:
             self._plan_cache.invalidate()

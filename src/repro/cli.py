@@ -27,6 +27,10 @@ Commands::
                                           ASCII picture of the curve
     experiments …                         the experiment harness
                                           (see ``python -m repro.experiments``)
+    lint [--rules …] [--no-baseline] [--ratchet]
+                                          static lock-discipline and
+                                          invariant analysis + mypy ratchet
+                                          (see ``repro.devtools``)
 """
 
 from __future__ import annotations
@@ -157,6 +161,10 @@ def main(argv: List[str] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "experiments":
         return experiments_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .devtools.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro", description="Onion-curve reproduction toolkit."

@@ -129,12 +129,17 @@ def _shell_point(dim: int, side: int, rank: int) -> Tuple[int, ...]:
 class OnionCurveND(SpaceFillingCurve):
     """Layer-by-layer onion ordering in any dimension >= 2, any side."""
 
-    is_continuous = False
-
     def __init__(self, side: int, dim: int):
         super().__init__(side, dim)
         if dim < 2:
             raise InvalidUniverseError(f"OnionCurveND needs dim >= 2, got {dim}")
+
+    @property
+    def is_continuous(self) -> bool:
+        # In 2-d the shell walk is the ring traversal of the planar
+        # onion curve, which steps between adjacent cells; from 3-d up
+        # the face-by-face shell sweep jumps between slices.
+        return self._dim == 2
 
     @property
     def name(self) -> str:

@@ -1,0 +1,124 @@
+"""``repro lint`` — the static-analysis front door, blocking in CI.
+
+Runs the lock-discipline analyzer and the invariant rules over the
+production tree (optionally a single file), applies the intentional-
+exception baseline, and exits non-zero on any unbaselined finding or
+stale baseline entry.  ``--ratchet`` chains the mypy strict ratchet
+into the same invocation so CI needs exactly one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analyzer import ALL_RULES, lint_tree
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "static lock-discipline and invariant analysis over src/repro "
+            "(see repro.devtools)"
+        ),
+    )
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=None,
+        help="source tree or single file to lint (default: installed src/repro)",
+    )
+    parser.add_argument(
+        "--tests",
+        type=Path,
+        default=None,
+        help="test tree for the curve-matrix rule (default: <repo>/tests)",
+    )
+    parser.add_argument(
+        "--registry",
+        type=Path,
+        default=None,
+        help="curve registry file (default: src/repro/curves/registry.py)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="intentional-exception baseline (default: the shipped one when "
+        "linting the default tree)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore every baseline: report raw findings",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=f"comma-separated subset of rules (default: all). "
+        f"Known: {', '.join(ALL_RULES)}",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule names and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="also list baselined findings"
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help="additionally run the mypy strict ratchet (see repro.devtools.ratchet)",
+    )
+    parser.add_argument(
+        "--ratchet-update",
+        action="store_true",
+        help="bank mypy improvements into the budget file",
+    )
+    parser.add_argument(
+        "--ratchet-require",
+        action="store_true",
+        help="fail when mypy is missing instead of skipping (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+
+    report = lint_tree(
+        src=args.src,
+        tests=args.tests,
+        registry=args.registry,
+        baseline=args.baseline,
+        rules=rules,
+        use_baseline=not args.no_baseline,
+    )
+
+    print(report.render(verbose=args.verbose))
+    exit_code = 0 if report.ok else 1
+
+    if args.ratchet or args.ratchet_update:
+        from . import ratchet
+
+        ratchet_args = []
+        if args.ratchet_update:
+            ratchet_args.append("--update")
+        if args.ratchet_require:
+            ratchet_args.append("--require")
+        ratchet_code = ratchet.main(ratchet_args)
+        exit_code = exit_code or ratchet_code
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Repo-specific configuration for the static analyzers.
+
+The rules themselves are generic AST machinery; everything that encodes
+*this* repo's conventions — the canonical lock order, the property
+aliases the migration protocol exposes, which call shapes count as
+blocking, where the curve registry and the test curve matrices live —
+is declared here, in one reviewable place.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "BLOCKING_ATTR_CALLS",
+    "BLOCKING_NAME_CALLS",
+    "DECLARED_LOCK_ORDER",
+    "GLOBAL_LOCKS",
+    "LOCK_ALIASES",
+    "MATRIX_VARIABLE_NAMES",
+    "default_baseline_path",
+    "default_registry_path",
+    "default_src_root",
+    "default_tests_root",
+]
+
+#: The canonical cross-module acquisition order: a thread holding a lock
+#: may only acquire locks that appear *later* in this tuple.  ``_mutex``
+#: is the store mutex (re-entrant, guards every mutation and snapshot);
+#: ``_io_lock`` serializes charged page reads across executor
+#: generations and guards buffer-pool clears during a layout swap.
+DECLARED_LOCK_ORDER: Tuple[str, ...] = ("_mutex", "_io_lock")
+
+#: Lock names that mean the *same* lock wherever they appear, so edges
+#: between them are checked globally.  Every other lock name (e.g. the
+#: ``_lock`` inside PlanCache and WorkloadRecorder — different objects
+#: that happen to share a spelling) is scoped to its class.
+GLOBAL_LOCKS: FrozenSet[str] = frozenset(DECLARED_LOCK_ORDER)
+
+#: Property aliases resolved before discipline checks: the migration
+#: protocol's ``_migration_lock`` hook *is* the store mutex on every
+#: thread-safe store, so ``with index._migration_lock:`` counts as
+#: holding ``_mutex``.
+LOCK_ALIASES: Dict[str, str] = {"_migration_lock": "_mutex"}
+
+#: Method attribute names whose call blocks the calling thread —
+#: forbidden while holding any tracked lock (a worker needing the same
+#: lock to make progress deadlocks the system).  ``shutdown`` is exempt
+#: when called with an explicit ``wait=False``.
+BLOCKING_ATTR_CALLS: FrozenSet[str] = frozenset(
+    {"result", "join", "shutdown", "wait"}
+)
+
+#: Bare-name calls that block (module functions / builtins).
+BLOCKING_NAME_CALLS: FrozenSet[str] = frozenset({"sleep", "input"})
+
+#: Module-level assignment names that declare a test curve matrix.  The
+#: curve-matrix rule unions every string literal assigned to one of
+#: these across the test tree and requires every registered curve name
+#: to appear (or to be baselined with a reason).
+MATRIX_VARIABLE_NAMES: FrozenSet[str] = frozenset(
+    {"ALL_CURVE_SPECS", "ALL_CURVES", "CURVES", "CURVE_NAMES"}
+)
+
+
+def _repo_root() -> Path:
+    """``<repo>/`` assuming the canonical ``<repo>/src/repro/devtools``."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_src_root() -> Path:
+    """The production tree the analyzers walk: ``src/repro``."""
+    return Path(__file__).resolve().parents[1]
+
+
+def default_tests_root() -> Path:
+    """The test tree the curve-matrix rule scans."""
+    return _repo_root() / "tests"
+
+
+def default_registry_path() -> Path:
+    """The curve registry whose ``_REGISTRY`` keys define "registered"."""
+    return default_src_root() / "curves" / "registry.py"
+
+
+def default_baseline_path() -> Path:
+    """The intentional-exception baseline shipped with the analyzer."""
+    return Path(__file__).resolve().parent / "lint_baseline.txt"

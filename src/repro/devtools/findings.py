@@ -1,0 +1,116 @@
+"""Findings: what every devtools rule produces, and the report that
+collects them.
+
+A :class:`Finding` carries a stable ``key`` alongside the human-readable
+message: baselines match on ``(rule, key)``, never on line numbers, so
+an intentional exception filed in the baseline survives unrelated edits
+to the file above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+__all__ = ["Finding", "LintReport", "load_baseline"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    #: Rule identifier (e.g. ``unguarded-access``, ``lock-order``).
+    rule: str
+    #: Path of the offending file, relative to the repo root when known.
+    path: str
+    #: 1-based line of the offending statement (0 for repo-level rules).
+    line: int
+    #: Human-readable description of the violation.
+    message: str
+    #: Stable identity for baseline matching (no line numbers).
+    key: str
+
+    def render(self) -> str:
+        """``path:line: [rule] message`` — the CLI's output line."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Every finding of one analyzer run, split by baseline status."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings matched by a baseline entry (reported, not fatal).
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing — stale entries are an
+    #: error too, otherwise the baseline only ever grows.
+    unused_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean (modulo baselined exceptions)."""
+        return not self.findings and not self.unused_baseline
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        """Add raw findings (baseline split happens in ``apply_baseline``)."""
+        self.findings.extend(findings)
+
+    def apply_baseline(self, baseline: Dict[Tuple[str, str], str]) -> None:
+        """Move baselined findings to ``suppressed``; note stale entries."""
+        matched: Set[Tuple[str, str]] = set()
+        kept: List[Finding] = []
+        for finding in self.findings:
+            entry = (finding.rule, finding.key)
+            if entry in baseline:
+                matched.add(entry)
+                self.suppressed.append(finding)
+            else:
+                kept.append(finding)
+        self.findings = kept
+        self.unused_baseline = [
+            f"{rule} {key}" for (rule, key) in baseline if (rule, key) not in matched
+        ]
+
+    def render(self, verbose: bool = False) -> str:
+        """The CLI report: findings first, then baseline accounting."""
+        lines = [finding.render() for finding in self.findings]
+        if verbose and self.suppressed:
+            lines.append(f"-- {len(self.suppressed)} baselined exception(s):")
+            lines.extend(f"   {finding.render()}" for finding in self.suppressed)
+        for stale in self.unused_baseline:
+            lines.append(f"baseline: [stale-entry] no finding matches {stale!r}")
+        summary = (
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} baselined, "
+            f"{len(self.unused_baseline)} stale baseline entr(y/ies)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str], str]:
+    """Parse a baseline file into ``{(rule, key): comment}``.
+
+    Format, one intentional exception per line::
+
+        <rule> <key>   # why this is allowed
+
+    Blank lines and ``#``-prefixed lines are ignored.  The comment is
+    mandatory in spirit (the file reviews like code) but not enforced.
+    """
+    entries: Dict[Tuple[str, str], str] = {}
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, comment = line.partition("  #")
+        parts = body.strip().split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed baseline line: {raw!r}")
+        rule, key = parts
+        entries[(rule, key.strip())] = comment.strip()
+    return entries

@@ -1,0 +1,193 @@
+"""Mypy strict ratchet: per-package error budgets that only shrink.
+
+Flipping ``--strict`` on a grown codebase in one PR is a rewrite;
+never flipping it means the debt compounds.  The ratchet is the middle
+path: every tracked package carries an error *budget* in
+``mypy_budgets.json``, CI fails when a package exceeds its budget, and
+``--update`` only ever writes a *lower* number — so strictness is
+monotone and each PR that fixes annotations banks the progress.
+
+Tracked packages (the concurrency-critical core, where type confusion
+turns into runtime races): ``repro.engine``, ``repro.api``,
+``repro.index``, ``repro.adaptive``.
+
+mypy is an optional tool: the production code never imports it, and a
+dev box without it gets a warning and a zero exit (CI installs it and
+passes ``--require`` so the gate cannot silently vanish there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import default_src_root
+
+__all__ = ["evaluate", "load_budgets", "main"]
+
+#: Package name -> directory under ``src/repro`` the budget covers.
+TRACKED_PACKAGES: Dict[str, str] = {
+    "repro.engine": "engine",
+    "repro.api": "api",
+    "repro.index": "index",
+    "repro.adaptive": "adaptive",
+}
+
+_MYPY_FLAGS = (
+    "--strict",
+    "--no-error-summary",
+    "--follow-imports=silent",
+    "--ignore-missing-imports",
+)
+
+
+def default_budget_path() -> Path:
+    return Path(__file__).resolve().parent / "mypy_budgets.json"
+
+
+def load_budgets(path: Path) -> Dict[str, int]:
+    """The budget map from ``mypy_budgets.json`` (``budgets`` key)."""
+    data = json.loads(path.read_text())
+    budgets = data["budgets"]
+    return {package: int(count) for package, count in budgets.items()}
+
+
+def save_budgets(path: Path, budgets: Dict[str, int]) -> None:
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data["budgets"] = {name: budgets[name] for name in sorted(budgets)}
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy(src_root: Path) -> Tuple[int, str]:
+    """One ``mypy --strict`` pass over every tracked package dir."""
+    targets = [str(src_root / subdir) for subdir in TRACKED_PACKAGES.values()]
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", *_MYPY_FLAGS, *targets],
+        capture_output=True,
+        text=True,
+        cwd=str(src_root.parent),
+    )
+    return result.returncode, result.stdout
+
+
+def count_errors(output: str, src_root: Path) -> Dict[str, int]:
+    """Bucket ``path:line: error:`` lines by tracked package."""
+    counts = {package: 0 for package in TRACKED_PACKAGES}
+    markers = {
+        package: f"{(src_root / subdir).as_posix()}/"
+        for package, subdir in TRACKED_PACKAGES.items()
+    }
+    rel_markers = {
+        package: f"src/repro/{subdir}/"
+        for package, subdir in TRACKED_PACKAGES.items()
+    }
+    for line in output.splitlines():
+        if ": error:" not in line:
+            continue
+        path = line.split(":", 1)[0].replace("\\", "/")
+        for package in TRACKED_PACKAGES:
+            if path.startswith(rel_markers[package]) or markers[package] in path:
+                counts[package] += 1
+                break
+    return counts
+
+
+def evaluate(
+    counts: Dict[str, int], budgets: Dict[str, int]
+) -> Tuple[bool, List[str], Dict[str, int]]:
+    """Compare a run against the budgets.
+
+    Returns ``(ok, messages, shrunk)`` where ``shrunk`` is the budget
+    map ``--update`` would write: current counts where they improved,
+    old budgets elsewhere (a regression keeps ``ok`` False and is never
+    written).
+    """
+    ok = True
+    messages: List[str] = []
+    shrunk: Dict[str, int] = {}
+    for package in sorted(set(budgets) | set(counts)):
+        budget = budgets.get(package)
+        count = counts.get(package)
+        if budget is None:
+            ok = False
+            messages.append(f"{package}: {count} error(s) but no budget recorded")
+            continue
+        if count is None:
+            messages.append(f"{package}: budget {budget}, package not checked")
+            shrunk[package] = budget
+            continue
+        shrunk[package] = min(budget, count)
+        if count > budget:
+            ok = False
+            messages.append(
+                f"{package}: {count} error(s) exceeds budget {budget} — "
+                f"fix the new errors; budgets only shrink"
+            )
+        elif count < budget:
+            messages.append(
+                f"{package}: {count} error(s), budget {budget} — "
+                f"run `repro lint --ratchet-update` to bank the improvement"
+            )
+        else:
+            messages.append(f"{package}: {count} error(s), at budget")
+    return ok, messages, shrunk
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint --ratchet",
+        description="mypy strict ratchet over the concurrency-critical packages",
+    )
+    parser.add_argument(
+        "--src", type=Path, default=None, help="src/repro root (default: installed)"
+    )
+    parser.add_argument(
+        "--budgets", type=Path, default=None, help="budget file (mypy_budgets.json)"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="bank improvements: rewrite budgets with any lower counts",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 2) when mypy is not installed — CI passes this",
+    )
+    args = parser.parse_args(argv)
+
+    src_root = args.src or default_src_root()
+    budget_path = args.budgets or default_budget_path()
+
+    if not mypy_available():
+        print("ratchet: mypy is not installed; skipping (CI runs with --require)")
+        return 2 if args.require else 0
+
+    budgets = load_budgets(budget_path)
+    _, output = run_mypy(src_root)
+    counts = count_errors(output, src_root)
+    ok, messages, shrunk = evaluate(counts, budgets)
+    for message in messages:
+        print(f"ratchet: {message}")
+    if args.update:
+        if not ok:
+            print("ratchet: refusing to update budgets while over budget")
+            return 1
+        if shrunk != budgets:
+            save_budgets(budget_path, shrunk)
+            print(f"ratchet: budgets updated in {budget_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,11 +59,13 @@ class PlanCache:
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise StorageError(f"capacity must be >= 1, got {self.capacity}")
+        # guarded-by: _lock
         self._plans: "OrderedDict[Hashable, QueryPlan]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get(self, key: PlanKey) -> Optional[QueryPlan]:
         """The cached plan for ``key``, refreshing its recency, or None."""

@@ -303,7 +303,13 @@ class PlanStream:
             self._finalize()
 
     def _finalize(self) -> None:
-        """Report the realized I/O to the recorder, exactly once."""
+        """Report the realized I/O to the recorder, exactly once.
+
+        The guard flag + set-true pair below is the idempotence pattern
+        the ``notify-once`` rule of ``repro lint`` matches: both the
+        generator's ``finally`` and :meth:`close` funnel through here,
+        and whichever runs second is a no-op.
+        """
         if self._recorded:
             return
         self._recorded = True

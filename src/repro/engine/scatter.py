@@ -559,9 +559,10 @@ class ScatterGatherExecutor:
             min(16, os.cpu_count() or 4) if max_workers is None else max_workers
         )
         self._io_lock = io_lock if io_lock is not None else threading.Lock()
+        # guarded-by: _pool_lock
         self._filter_pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _pool_lock
 
     @property
     def layout(self) -> PageLayout:

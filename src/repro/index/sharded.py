@@ -45,6 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..api.store import SpatialStore, pack_layout
 from ..curves.base import SpaceFillingCurve
+from ..devtools.annotations import guarded_by
 from ..engine.cache import PlanCache
 from ..engine.cost import DEFAULT_COST_MODEL, CostModel
 from ..engine.executor import Record
@@ -120,7 +121,7 @@ class ShardedSFCIndex(SpatialStore):
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
-        self._curve = curve
+        self._curve = curve  # guarded-by: _mutex (swapped by migration cutover)
         self._page_capacity = page_capacity
         self._tree_order = tree_order
         self._cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
@@ -130,33 +131,35 @@ class ShardedSFCIndex(SpatialStore):
         shard_map = (
             list(shards) if shards is not None else equal_key_shards(curve, num_shards)
         )
-        self._planner = ShardedPlanner(
+        # The SpatialStore mutex (re-entrant): every mutation, snapshot
+        # and point lookup serializes on it, and every field below that
+        # carries a guarded-by annotation is protected by it — the
+        # lock-discipline analyzer (`repro lint`) enforces the pairing.
+        self._mutex = threading.RLock()
+        # One I/O lock shared by every executor generation: a query that
+        # snapshotted the previous executor must still serialize its
+        # charged reads with queries on the new one (same disk), and
+        # pool clears during a layout swap happen under it — a
+        # previous-generation query may be mid-read through the pool.
+        self._io_lock = threading.Lock()
+        self._planner = ShardedPlanner(  # guarded-by: _mutex
             curve,
             shard_map,
             cost_model=self._cost_model,
             fanout_cost=fanout_cost,
             recorder=recorder,
         )
+        # guarded-by: _mutex
         self._trees = [BPlusTree(order=tree_order) for _ in self._planner.shards]
-        self._counts = [0] * len(self._planner.shards)
+        self._counts = [0] * len(self._planner.shards)  # guarded-by: _mutex
         self._disk = SimulatedDisk()
         self._pool = BufferPool(self._disk, buffer_pages) if buffer_pages else None
         self._plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
-        self._layout: Optional[PageLayout] = None
+        self._layout: Optional[PageLayout] = None  # guarded-by: _mutex
+        # guarded-by: _mutex
         self._executor: Optional[ScatterGatherExecutor] = None
-        self._epoch = 0
-        self._version = 0
-        self._lock = threading.RLock()
-        #: The SpatialStore mutex: every mutation, snapshot and
-        #: point lookup serializes on the index lock.
-        self._mutex = self._lock
-        # One I/O lock shared by every executor generation: a query that
-        # snapshotted the previous executor must still serialize its
-        # charged reads with queries on the new one (same disk).
-        self._io_lock = threading.Lock()
-        #: Pool clears during a layout swap happen under the I/O lock —
-        #: a previous-generation query may be mid-read through the pool.
-        self._pool_guard = self._io_lock
+        self._epoch = 0  # guarded-by: _mutex
+        self._version = 0  # guarded-by: _mutex
 
     # ------------------------------------------------------------------
     # Introspection
@@ -164,41 +167,49 @@ class ShardedSFCIndex(SpatialStore):
     @property
     def shards(self) -> Tuple[Shard, ...]:
         """The shard map (inclusive key intervals, ascending)."""
-        return self._planner.shards
+        with self._mutex:
+            return self._planner.shards
 
     @property
     def num_shards(self) -> int:
         """Number of shards in the map."""
-        return len(self._planner.shards)
+        with self._mutex:
+            return len(self._planner.shards)
 
     @property
     def _migration_lock(self):
-        """The lock the migration protocol's final attempt holds (re-entrant)."""
-        return self._lock
+        """The lock the migration protocol's final attempt holds — the
+        store mutex itself (re-entrant), which is why the analyzer's
+        alias map resolves ``_migration_lock`` to ``_mutex``."""
+        return self._mutex
 
     @property
     def shard_loads(self) -> Tuple[int, ...]:
         """Record count per shard (the balance ``rebalance`` restores)."""
-        with self._lock:
+        with self._mutex:
             return tuple(self._counts)
 
     def __len__(self) -> int:
-        return sum(self._counts)
+        with self._mutex:
+            return sum(self._counts)
 
     def shard_of(self, point: Sequence[int]) -> int:
         """Id of the shard serving ``point``'s curve key."""
-        with self._lock:
+        with self._mutex:
             return shard_of_key(self._planner.shards, self._curve.index(point))
 
     # ------------------------------------------------------------------
     # Storage primitives (the SpatialStore contract, key-routed)
     # ------------------------------------------------------------------
+    @guarded_by("_mutex")
     def _tree_for_key(self, key: int) -> BPlusTree:
         return self._trees[shard_of_key(self._planner.shards, key)]
 
+    @guarded_by("_mutex")
     def _count_delta(self, key: int, delta: int) -> None:
         self._counts[shard_of_key(self._planner.shards, key)] += delta
 
+    @guarded_by("_mutex")
     def _flush_entries(self):
         """Every shard's records in shard order — which is global key
         order, since shards are ascending intervals — so pages pack
@@ -210,9 +221,10 @@ class ShardedSFCIndex(SpatialStore):
             for record in bucket
         )
 
+    @guarded_by("_mutex")
     def _retire_executor(self) -> None:
         """Close the outgoing executor's filter pool (callers hold the
-        lock); a query that already snapshotted it finishes inline."""
+        mutex); a query that already snapshotted it finishes inline."""
         if self._executor is not None:
             self._executor.close()
 
@@ -226,8 +238,9 @@ class ShardedSFCIndex(SpatialStore):
             recorder=self._recorder,
         )
 
+    @guarded_by("_mutex")
     def _ensure_flushed(self) -> ScatterGatherExecutor:
-        """Executor for the current layout (callers hold the lock)."""
+        """Executor for the current layout (callers hold the mutex)."""
         if self._layout is None or self._executor is None:
             self.flush()
         return self._executor
@@ -240,7 +253,7 @@ class ShardedSFCIndex(SpatialStore):
         a consistent snapshot stays readable after a reflush because the
         simulated disk is append-only.
         """
-        with self._lock:
+        with self._mutex:
             self._ensure_flushed()
             return self._planner, self._layout, self._executor, self._epoch
 
@@ -264,7 +277,7 @@ class ShardedSFCIndex(SpatialStore):
         the same load; an empty index falls back to equal key ranges.
         Returns the new shard map.
         """
-        with self._lock:
+        with self._mutex:
             target = num_shards if num_shards is not None else self.num_shards
             entries: List[Tuple[int, List[Record]]] = []
             keys: List[int] = []
@@ -304,7 +317,7 @@ class ShardedSFCIndex(SpatialStore):
         shard order, which is global key order — so the snapshot is
         exactly what a flush would pack.
         """
-        with self._lock:
+        with self._mutex:
             return self._version, list(self._flush_entries())
 
     def _migration_cutover(
@@ -325,7 +338,7 @@ class ShardedSFCIndex(SpatialStore):
         index shard-transparent — and the epoch bump retires every
         cached plan of the old generation.
         """
-        with self._lock:
+        with self._mutex:
             if self._version != expected_version:
                 return False
             self._retire_executor()

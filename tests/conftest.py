@@ -20,6 +20,8 @@ settings.load_profile("repro")
 ALL_CURVE_SPECS = [
     ("onion", 2),
     ("onion", 3),
+    ("onion-nd", 2),
+    ("onion-nd", 3),
     ("hilbert", 2),
     ("hilbert", 3),
     ("zorder", 2),

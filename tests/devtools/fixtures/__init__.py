@@ -1,0 +1,8 @@
+"""Seeded-violation fixtures for the ``repro.devtools`` self-tests.
+
+Each ``bad_*`` module plants exactly the bug class one analyzer rule
+exists to catch; ``clean_module`` plants none.  The self-tests lint
+each file in isolation and assert the expected findings — the analyzer
+never imports these modules (everything is AST over source), so the
+planted bugs are inert.
+"""

@@ -1,0 +1,32 @@
+"""Fixture: blocking calls while holding a lock (blocking-under-lock)."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SleepyWorker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=2)
+
+    def slow_poll(self):
+        with self._lock:
+            # BUG: parks the thread while holding the lock.
+            time.sleep(0.1)
+
+    def wait_for_worker(self, task):
+        with self._lock:
+            future = self._pool.submit(task)
+            # BUG: a worker needing _lock to finish deadlocks us here.
+            return future.result()
+
+    def stop(self):
+        with self._lock:
+            # BUG: shutdown without wait=False blocks until workers drain.
+            self._pool.shutdown()
+
+    def stop_fast(self):
+        with self._lock:
+            # OK: explicitly non-blocking shutdown is exempt.
+            self._pool.shutdown(wait=False)

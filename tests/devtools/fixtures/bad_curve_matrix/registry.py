@@ -1,0 +1,7 @@
+"""Fixture registry: three curves, one of which no matrix covers."""
+
+_REGISTRY = {
+    "alpha": None,
+    "beta": None,
+    "gamma": None,  # BUG: appears in no matrix below tests/
+}

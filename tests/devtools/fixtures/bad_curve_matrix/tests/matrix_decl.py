@@ -1,0 +1,4 @@
+"""Fixture test tree: the matrices cover alpha and beta, never gamma."""
+
+CURVE_NAMES = ["alpha", "beta"]
+ALL_CURVE_SPECS = [("alpha", 2), ("beta", 3)]

@@ -1,0 +1,26 @@
+"""Fixture: layout installed without an epoch bump (epoch-bump)."""
+
+
+class StaleStore:
+    def __init__(self):
+        self._layout = None
+        self._epoch = 0
+
+    def good_swap(self, layout):
+        self._layout = layout
+        self._epoch += 1
+
+    def delegated_swap(self, layout):
+        self._install_layout(layout)
+
+    def _install_layout(self, layout):
+        self._layout = layout
+        self._epoch += 1
+
+    def bad_swap(self, layout):
+        # BUG: the plan cache keeps serving plans keyed to the old epoch.
+        self._layout = layout
+
+    def clearing_is_fine(self):
+        # Setting the layout to None (invalidation) needs no bump.
+        self._layout = None

@@ -1,0 +1,25 @@
+"""Fixture: lock-order inversion (lock-order).
+
+One method takes ``_mutex`` then ``_io_lock`` (the declared order);
+another takes them in reverse — a deadlock schedule exists, and the
+reverse edge also contradicts the declared global order.
+"""
+
+import threading
+
+
+class Inverted:
+    def __init__(self):
+        self._mutex = threading.RLock()
+        self._io_lock = threading.Lock()
+
+    def forward(self):
+        with self._mutex:
+            with self._io_lock:
+                return "ok"
+
+    def backward(self):
+        # BUG: acquires _mutex while holding _io_lock.
+        with self._io_lock:
+            with self._mutex:
+                return "deadlock bait"

@@ -1,0 +1,29 @@
+"""Fixture: mutable default arguments (mutable-default)."""
+
+
+def accumulate(value, acc=[]):
+    # BUG: one list shared by every call.
+    acc.append(value)
+    return acc
+
+
+def tally(key, counts={}):
+    # BUG: one dict shared by every call.
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class Collector:
+    def collect(self, item, seen=set()):
+        # BUG: one set shared by every call AND every instance.
+        seen.add(item)
+        return seen
+
+    def fine(self, items=(), label=None, fallback=0):
+        # OK: immutable defaults.
+        return list(items), label, fallback
+
+
+def keyword_only(*, buffer=bytearray()):
+    # BUG: kw-only defaults are just as shared.
+    return buffer

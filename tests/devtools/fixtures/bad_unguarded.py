@@ -1,0 +1,25 @@
+"""Fixture: guarded-field access without the lock (unguarded-access)."""
+
+import threading
+
+
+class LeakyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _lock
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    def peek(self):
+        # BUG: reads both guarded fields without the lock.
+        return self._count, list(self._items)
+
+    def reset(self):
+        with self._lock:
+            self._items.clear()
+        # BUG: the write escapes the with block above.
+        self._count = 0

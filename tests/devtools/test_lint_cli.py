@@ -1,0 +1,96 @@
+"""CLI-level tests: ``repro lint`` exit codes on the seeded fixtures.
+
+These are the acceptance checks from the issue — the command exits
+non-zero for each seeded bug class and zero for the clean tree — plus
+the flag plumbing (``--rules``, ``--list-rules``, dispatch through
+``python -m repro lint``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SEEDED = [
+    "bad_unguarded.py",
+    "bad_lock_order.py",
+    "bad_blocking.py",
+    "bad_epoch.py",
+    "bad_notify.py",
+    "bad_mutable_default.py",
+]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("fixture", SEEDED)
+    def test_each_seeded_fixture_fails(self, fixture, capsys):
+        code = lint_main(["--src", str(FIXTURES / fixture), "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_curve_matrix_fixture_fails(self, capsys):
+        base = FIXTURES / "bad_curve_matrix"
+        code = lint_main(
+            [
+                "--src", str(base / "registry.py"),
+                "--registry", str(base / "registry.py"),
+                "--tests", str(base / "tests"),
+                "--no-baseline",
+            ]
+        )
+        assert code == 1
+        assert "gamma" in capsys.readouterr().out
+
+    def test_clean_fixture_passes(self, capsys):
+        assert lint_main(["--src", str(FIXTURES / "clean_module.py")]) == 0
+
+    def test_default_tree_passes_with_shipped_baseline(self, capsys):
+        """The CI invocation (minus the ratchet): zero on the real tree."""
+        assert lint_main([]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_verbose_lists_baselined_findings(self, capsys):
+        assert lint_main(["-v"]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        assert "peano" in out
+
+
+class TestFlags:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "unguarded-access" in out
+        assert "curve-matrix-gap" in out
+
+    def test_rules_subset_filters(self, capsys):
+        # epoch-bump alone sees nothing wrong with the mutable-default file.
+        code = lint_main(
+            [
+                "--src", str(FIXTURES / "bad_mutable_default.py"),
+                "--no-baseline",
+                "--rules", "epoch-bump",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_rule_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_main(["--rules", "bogus"])
+
+
+class TestDispatch:
+    def test_repro_cli_routes_lint_subcommand(self, capsys):
+        code = repro_main(["lint", "--src", str(FIXTURES / "clean_module.py")])
+        assert code == 0
+
+    def test_repro_cli_routes_lint_failure(self, capsys):
+        code = repro_main(
+            ["lint", "--src", str(FIXTURES / "bad_epoch.py"), "--no-baseline"]
+        )
+        assert code == 1

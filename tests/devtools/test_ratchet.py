@@ -1,0 +1,142 @@
+"""Unit tests for the mypy strict ratchet's pure core.
+
+mypy itself is optional and may be absent on a dev box, so these tests
+exercise the parts that never shell out: error bucketing, the
+shrink-only ``evaluate`` contract, and budget-file round-trips.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import ratchet
+from repro.devtools.ratchet import (
+    TRACKED_PACKAGES,
+    count_errors,
+    evaluate,
+    load_budgets,
+    save_budgets,
+)
+
+SRC_ROOT = Path("src/repro")
+
+
+class TestEvaluate:
+    def test_under_budget_is_ok_and_banks_the_improvement(self):
+        ok, messages, shrunk = evaluate({"repro.api": 3}, {"repro.api": 10})
+        assert ok
+        assert shrunk == {"repro.api": 3}
+        assert any("bank the improvement" in m for m in messages)
+
+    def test_at_budget_is_ok_and_keeps_the_budget(self):
+        ok, _, shrunk = evaluate({"repro.api": 10}, {"repro.api": 10})
+        assert ok
+        assert shrunk == {"repro.api": 10}
+
+    def test_over_budget_fails_and_never_raises_the_budget(self):
+        ok, messages, shrunk = evaluate({"repro.api": 12}, {"repro.api": 10})
+        assert not ok
+        # The shrunk map still holds the OLD budget — a regression is
+        # never banked.
+        assert shrunk == {"repro.api": 10}
+        assert any("exceeds budget" in m for m in messages)
+
+    def test_package_without_budget_fails(self):
+        ok, messages, _ = evaluate({"repro.new": 1}, {})
+        assert not ok
+        assert any("no budget recorded" in m for m in messages)
+
+    def test_unchecked_package_keeps_its_budget(self):
+        ok, _, shrunk = evaluate({}, {"repro.api": 10})
+        assert ok
+        assert shrunk == {"repro.api": 10}
+
+    def test_mixed_packages(self):
+        counts = {"repro.api": 1, "repro.engine": 99}
+        budgets = {"repro.api": 5, "repro.engine": 50}
+        ok, _, shrunk = evaluate(counts, budgets)
+        assert not ok
+        assert shrunk == {"repro.api": 1, "repro.engine": 50}
+
+
+class TestCountErrors:
+    def test_buckets_by_package_dir(self):
+        output = "\n".join(
+            [
+                "src/repro/api/store.py:10: error: boom  [misc]",
+                "src/repro/api/cursor.py:20: error: boom  [misc]",
+                "src/repro/engine/cache.py:5: error: boom  [misc]",
+                "src/repro/curves/onion.py:1: error: untracked  [misc]",
+                "src/repro/api/store.py:11: note: not an error",
+            ]
+        )
+        counts = count_errors(output, SRC_ROOT)
+        assert counts["repro.api"] == 2
+        assert counts["repro.engine"] == 1
+        assert counts["repro.index"] == 0
+        assert counts["repro.adaptive"] == 0
+
+    def test_every_tracked_package_has_a_count(self):
+        counts = count_errors("", SRC_ROOT)
+        assert set(counts) == set(TRACKED_PACKAGES)
+        assert all(count == 0 for count in counts.values())
+
+
+class TestBudgetFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        save_budgets(path, {"repro.api": 7, "repro.engine": 3})
+        assert load_budgets(path) == {"repro.api": 7, "repro.engine": 3}
+
+    def test_save_preserves_other_keys(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text('{"_comment": ["keep me"], "budgets": {"repro.api": 9}}')
+        save_budgets(path, {"repro.api": 4})
+        text = path.read_text()
+        assert "keep me" in text
+        assert load_budgets(path) == {"repro.api": 4}
+
+    def test_shipped_budget_file_loads_and_covers_tracked_packages(self):
+        budgets = load_budgets(ratchet.default_budget_path())
+        assert set(budgets) == set(TRACKED_PACKAGES)
+        assert all(isinstance(b, int) and b >= 0 for b in budgets.values())
+
+
+class TestMainWithoutMypy:
+    def test_missing_mypy_skips_by_default(self, monkeypatch, capsys):
+        monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+        assert ratchet.main([]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_missing_mypy_fails_under_require(self, monkeypatch, capsys):
+        monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+        assert ratchet.main(["--require"]) == 2
+
+    def test_update_refused_while_over_budget(self, monkeypatch, tmp_path):
+        budget_path = tmp_path / "budgets.json"
+        save_budgets(budget_path, {name: 0 for name in TRACKED_PACKAGES})
+        monkeypatch.setattr(ratchet, "mypy_available", lambda: True)
+        monkeypatch.setattr(
+            ratchet,
+            "run_mypy",
+            lambda src: (1, "src/repro/api/store.py:1: error: x  [misc]\n"),
+        )
+        code = ratchet.main(["--budgets", str(budget_path), "--update"])
+        assert code == 1
+        # Budgets were NOT rewritten.
+        assert load_budgets(budget_path)["repro.api"] == 0
+
+    def test_update_banks_an_improvement(self, monkeypatch, tmp_path):
+        budget_path = tmp_path / "budgets.json"
+        save_budgets(budget_path, {name: 5 for name in TRACKED_PACKAGES})
+        monkeypatch.setattr(ratchet, "mypy_available", lambda: True)
+        monkeypatch.setattr(
+            ratchet,
+            "run_mypy",
+            lambda src: (1, "src/repro/api/store.py:1: error: x  [misc]\n"),
+        )
+        code = ratchet.main(["--budgets", str(budget_path), "--update"])
+        assert code == 0
+        budgets = load_budgets(budget_path)
+        assert budgets["repro.api"] == 1
+        assert budgets["repro.engine"] == 0
