@@ -103,6 +103,7 @@ from .engine import (
     ShardedPlanner,
 )
 from .api import (
+    ANY,
     Cursor,
     CursorStats,
     KNNResult,
@@ -111,6 +112,7 @@ from .api import (
     RectUnion,
     SpatialStore,
 )
+from .storage import CrashInjector, Durability, InjectedCrash, RecoveryReport, recover
 from .errors import ReproError
 from .geometry import Rect
 from .index import SFCIndex, ShardedSFCIndex, advise, advise_histogram
@@ -147,6 +149,12 @@ __all__ = [
     "SFCIndex",
     "ShardedSFCIndex",
     "SpatialStore",
+    "ANY",
+    "CrashInjector",
+    "Durability",
+    "InjectedCrash",
+    "RecoveryReport",
+    "recover",
     "Query",
     "Cursor",
     "CursorStats",

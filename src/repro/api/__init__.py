@@ -40,9 +40,10 @@ Quickstart::
 from .cursor import Cursor, CursorStats, QueryResult
 from .knn import KNNResult, Neighbor, knn_search
 from .query import Query, RectUnion
-from .store import SpatialStore, keyed_records, merge_plans, pack_layout
+from .store import ANY, SpatialStore, keyed_records, merge_plans, pack_layout
 
 __all__ = [
+    "ANY",
     "Cursor",
     "CursorStats",
     "KNNResult",

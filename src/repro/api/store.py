@@ -42,17 +42,51 @@ import numpy as np
 
 from ..core.runs import merge_runs_with_gaps
 from ..curves.base import SpaceFillingCurve
+from ..curves.registry import make_curve
 from ..devtools.annotations import guarded_by
 from ..engine.cost import CostModel
 from ..engine.executor import Record
 from ..engine.plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
-from ..errors import InvalidQueryError, OutOfUniverseError
+from ..errors import InvalidQueryError, OutOfUniverseError, StorageError
 from ..geometry import Rect
 from ..storage.disk import SimulatedDisk
 from .cursor import Cursor, QueryResult
 from .query import Query, RectUnion
 
-__all__ = ["SpatialStore", "keyed_records", "pack_layout", "merge_plans"]
+__all__ = ["ANY", "SpatialStore", "keyed_records", "pack_layout", "merge_plans"]
+
+
+class _AnyPayload:
+    """Type of the :data:`ANY` sentinel (singleton)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: Match-any-payload sentinel: ``delete(point)`` removes the first
+#: record at ``point`` regardless of payload.  A distinct singleton —
+#: not ``None`` — so records stored *with* ``payload=None`` can be
+#: targeted specifically via ``delete(point, None)``.
+ANY = _AnyPayload()
+
+
+def _curve_spec(curve: SpaceFillingCurve) -> Tuple[str, int, int]:
+    """``(name, side, dim)`` — enough to rebuild ``curve`` from the registry.
+
+    Durable stores persist curves by this spec (in WAL header and
+    migrate frames and in checkpoint manifests), so a curve configured
+    beyond what its registry entry reconstructs is refused up front
+    rather than silently recovered into a different curve.
+    """
+    spec = (curve.name, curve.side, curve.dim)
+    if make_curve(*spec) != curve:
+        raise StorageError(
+            f"curve {curve!r} is not reconstructible from its registry spec "
+            f"{spec!r}; durable stores need registry-reconstructible curves"
+        )
+    return spec
 
 
 def keyed_records(
@@ -209,6 +243,12 @@ class SpatialStore(abc.ABC):
     #: store mutex on thread-safe stores).
     _migration_lock = nullcontext()
 
+    #: Durable backing (WAL + checkpoints), or None for a purely
+    #: in-memory store.  When set, every mutation path appends its
+    #: logical operation to the WAL *before* applying it
+    #: (WAL-before-apply), under the same mutex as the mutation.
+    _durability = None
+
     # ------------------------------------------------------------------
     # Storage primitives (the only per-topology code)
     # ------------------------------------------------------------------
@@ -293,6 +333,90 @@ class SpatialStore(abc.ABC):
         """Layout generation counter (bumped by every flush/migration)."""
         return self._epoch
 
+    @property
+    def durability(self):
+        """The durable backing (WAL + checkpoints), or None."""
+        with self._mutex:
+            return self._durability
+
+    # ------------------------------------------------------------------
+    # Durability (WAL-before-apply; see repro.storage.durable)
+    # ------------------------------------------------------------------
+    @guarded_by("_mutex")
+    def _log_durable(self, op) -> None:
+        """Append one logical operation to the WAL (callers hold the
+        mutex, *before* applying the operation)."""
+        if self._durability is not None:
+            self._durability.log(op)
+
+    @guarded_by("_mutex")
+    def _log_migrate(self, curve: SpaceFillingCurve) -> None:
+        """Log a migration cutover (callers hold the mutex).
+
+        Called by both ``_migration_cutover`` implementations after the
+        version check and before any mutation, so a crash mid-cutover
+        recovers to either the old curve (frame not durable) or the new
+        one (frame durable, replay re-runs the migration) — never a
+        half-migrated store.  Raises before logging when ``curve``
+        cannot be rebuilt from the registry.
+        """
+        if self._durability is not None:
+            self._durability.log(("migrate",) + _curve_spec(curve))
+
+    def _attach_durability(self, durability) -> None:
+        """Bind recovered durable backing to this store (recovery only)."""
+        with self._mutex:
+            self._durability = durability
+
+    def _init_durability(self, durable_path, durable_ops, durable_sync) -> None:
+        """Create fresh durable backing (constructor hook; call last)."""
+        if durable_path is None:
+            return
+        from ..storage.durable import Durability
+
+        durability = Durability(durable_path, ops=durable_ops, sync=durable_sync)
+        with self._mutex:
+            durability.initialize(self._durable_state())
+            self._durability = durability
+
+    @guarded_by("_mutex")
+    def _durable_state(self) -> dict:
+        """Construction parameters persisted in WAL headers and
+        checkpoint manifests — enough for ``recover()`` to rebuild an
+        empty twin of this store (callers hold the mutex)."""
+        name, side, dim = _curve_spec(self._curve)
+        return {
+            "kind": "single",
+            "curve": [name, side, dim],
+            "page_capacity": self._page_capacity,
+            "tree_order": self._tree_order,
+        }
+
+    def checkpoint(self, compact: bool = False):
+        """Cut a durable checkpoint: materialize every record as page
+        images and atomically commit a manifest pointing at them.
+
+        Recovery then bulk loads the images and replays only WAL
+        operations after the checkpoint, making recovery time
+        proportional to the log suffix instead of the store's history.
+        ``compact=True`` additionally rotates the WAL, bounding the
+        directory's size.  Returns the committed
+        :class:`~repro.storage.pagefile.CheckpointManifest`.
+        """
+        with self._mutex:
+            if self._durability is None:
+                raise StorageError(
+                    "store has no durable backing; construct it with "
+                    "durable_path= or load it through recover()"
+                )
+            records = [
+                (record.point, record.payload)
+                for _, record in self._flush_entries()
+            ]
+            return self._durability.write_checkpoint(
+                records, self._durable_state(), self._page_capacity, compact=compact
+            )
+
     # ------------------------------------------------------------------
     # Updates (one write path)
     # ------------------------------------------------------------------
@@ -322,7 +446,9 @@ class SpatialStore(abc.ABC):
         """
         with self._mutex:
             key = self._curve.index(point)
-            self._append_record(key, Record(tuple(int(c) for c in point), payload))
+            record = Record(tuple(int(c) for c in point), payload)
+            self._log_durable(("insert", record.point, payload))
+            self._append_record(key, record)
             self._note_write()
 
     def bulk_load(
@@ -353,12 +479,21 @@ class SpatialStore(abc.ABC):
                 entries = [
                     (int(key), record) for key, (_, record) in zip(keys, entries)
                 ]
+            self._log_durable(
+                ("bulk", [(record.point, record.payload) for _, record in entries])
+            )
             for key, record in entries:
                 self._append_record(key, record)
             self._note_write()
 
-    def delete(self, point: Sequence[int], payload: Any = None) -> bool:
+    def delete(self, point: Sequence[int], payload: Any = ANY) -> bool:
         """Remove one record matching ``point`` (and ``payload``, if given).
+
+        The default :data:`ANY` matches regardless of payload, so
+        ``delete(point)`` keeps its historical match-any meaning while
+        ``delete(point, None)`` targets exactly the records stored with
+        ``payload=None`` (they used to be untargetable: ``None``
+        doubled as the match-any marker).
 
         Returns True when a record was removed.  Keyed under the mutex,
         like :meth:`insert` — a stale-curve key would silently miss (or
@@ -371,7 +506,14 @@ class SpatialStore(abc.ABC):
             if not bucket:
                 return False
             for i, record in enumerate(bucket):
-                if payload is None or record.payload == payload:
+                if payload is ANY or record.payload == payload:
+                    self._log_durable(
+                        (
+                            "delete",
+                            tuple(int(c) for c in point),
+                            ("any",) if payload is ANY else ("eq", payload),
+                        )
+                    )
                     bucket.pop(i)
                     break
             else:
@@ -400,7 +542,15 @@ class SpatialStore(abc.ABC):
     # ------------------------------------------------------------------
     @guarded_by("_mutex")
     def _invalidate_layout(self) -> None:
-        """Drop the flushed layout (callers hold the mutex)."""
+        """Drop the flushed layout (callers hold the mutex).
+
+        The dropped layout's disk pages are retired — dead for
+        live-page accounting, still readable for any in-flight reader
+        of the old generation — so repeated write/flush cycles cannot
+        leak simulated disk.
+        """
+        if self._layout is not None:
+            self._disk.retire(self._layout.page_ids)
         self._layout = None
         self._retire_executor()
         self._executor = None
@@ -416,8 +566,11 @@ class SpatialStore(abc.ABC):
         generation may be mid-read through it, and the pool's
         check-then-access is not atomic against a clear.  (This is the
         one site that takes ``_io_lock`` while holding ``_mutex`` — the
-        edge that fixes the canonical lock order.)
+        edge that fixes the canonical lock order.)  The superseded
+        layout's pages are retired (see :meth:`_invalidate_layout`).
         """
+        if self._layout is not None:
+            self._disk.retire(self._layout.page_ids)
         self._layout = layout
         self._epoch += 1
         if self._pool is not None:
@@ -437,6 +590,7 @@ class SpatialStore(abc.ABC):
         invalidated: both refer to the previous layout).
         """
         with self._mutex:
+            self._log_durable(("flush",))
             self._retire_executor()
             layout = pack_layout(
                 self._disk, self._page_capacity, self._flush_entries()

@@ -25,6 +25,12 @@ Commands::
                                           index online, compare seeks
     render --curve NAME --side S [--mode keys|path]
                                           ASCII picture of the curve
+    checkpoint --path DIR [--compact]     checkpoint a durable store's
+                                          pages and manifest (``--compact``
+                                          rotates the WAL)
+    recover --path DIR [--verify]         replay a durable store from its
+                                          WAL + last checkpoint and report
+                                          what was recovered
     experiments …                         the experiment harness
                                           (see ``python -m repro.experiments``)
     lint [--rules …] [--no-baseline] [--ratchet]
@@ -131,6 +137,13 @@ def _add_index_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="serve through a ShardedSFCIndex with this many shards (1: unsharded)",
     )
+    parser.add_argument(
+        "--durable",
+        default=None,
+        metavar="DIR",
+        help="back the index with a WAL + checkpoint directory at DIR "
+        "(replay it later with `repro recover --path DIR`)",
+    )
 
 
 def _build_index(args: argparse.Namespace, recorder=None):
@@ -140,15 +153,22 @@ def _build_index(args: argparse.Namespace, recorder=None):
     instead; its query surface is a drop-in for the single index.
     """
     curve = make_curve(args.curve, args.side, args.dim)
+    durable_path = getattr(args, "durable", None)
     if args.shards > 1:
         index = ShardedSFCIndex(
             curve,
             num_shards=args.shards,
             page_capacity=args.page_capacity,
             recorder=recorder,
+            durable_path=durable_path,
         )
     else:
-        index = SFCIndex(curve, page_capacity=args.page_capacity, recorder=recorder)
+        index = SFCIndex(
+            curve,
+            page_capacity=args.page_capacity,
+            recorder=recorder,
+            durable_path=durable_path,
+        )
     rng = np.random.default_rng(args.seed)
     count = min(args.points, curve.size)
     index.bulk_load(rng.integers(0, args.side, size=(count, args.dim)))
@@ -278,6 +298,30 @@ def main(argv: List[str] = None) -> int:
     _add_curve_args(render_p)
     render_p.add_argument("--mode", choices=("keys", "path"), default="keys")
 
+    checkpoint_p = sub.add_parser(
+        "checkpoint", help="checkpoint a durable store's pages + manifest"
+    )
+    checkpoint_p.add_argument(
+        "--path", required=True, help="durable store directory"
+    )
+    checkpoint_p.add_argument(
+        "--compact",
+        action="store_true",
+        help="rotate to a fresh WAL after the checkpoint commits",
+    )
+
+    recover_p = sub.add_parser(
+        "recover", help="replay a durable store from its WAL + checkpoint"
+    )
+    recover_p.add_argument(
+        "--path", required=True, help="durable store directory"
+    )
+    recover_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="scan the recovered store's full universe and cross-check counts",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "curves":
@@ -308,6 +352,47 @@ def main(argv: List[str] = None) -> int:
         )
         print(format_table(headers, rows))
         print(f"winner: {scores[0].curve.name}")
+        return 0
+
+    if args.command in ("checkpoint", "recover"):
+        from .storage import recover as recover_store
+
+        store = recover_store(args.path)
+        report = store.durability.last_recovery
+        print(
+            f"recovered {type(store).__name__}: {report.records} record(s) "
+            f"on {store.curve!r}"
+            + (f", {store.num_shards} shards" if hasattr(store, "num_shards") else "")
+        )
+        print(
+            f"  generation {report.generation}: "
+            f"{report.checkpoint_records} checkpointed record(s), "
+            f"{report.frames_replayed} WAL frame(s) replayed, "
+            f"{report.torn_bytes} torn byte(s) truncated from {report.wal_file}"
+        )
+        if args.command == "checkpoint":
+            manifest = store.checkpoint(compact=args.compact)
+            print(
+                f"checkpoint generation {manifest.generation}: "
+                f"{manifest.record_count} record(s) in "
+                f"{len(manifest.page_index)} page(s) -> {manifest.pages_file}"
+                + (f", WAL rotated to {manifest.wal_file}" if args.compact else "")
+            )
+        elif args.verify:
+            side, dim = store.curve.side, store.curve.dim
+            universe = Rect.from_origin((0,) * dim, (side,) * dim)
+            result = store.range_query(universe)
+            if len(result.records) != len(store):
+                print(
+                    f"verify: FAILED - full scan returned "
+                    f"{len(result.records)} of {len(store)} record(s)"
+                )
+                return 1
+            print(
+                f"verify: OK - full scan returned all {len(store)} record(s) "
+                f"({result.seeks} seeks, {result.pages_read} pages)"
+            )
+        store.durability.close()
         return 0
 
     curve = make_curve(args.curve, args.side, args.dim)

@@ -7,9 +7,10 @@ path: every tracked package carries an error *budget* in
 ``--update`` only ever writes a *lower* number — so strictness is
 monotone and each PR that fixes annotations banks the progress.
 
-Tracked packages (the concurrency-critical core, where type confusion
-turns into runtime races): ``repro.engine``, ``repro.api``,
-``repro.index``, ``repro.adaptive``.
+Tracked packages (the concurrency- and durability-critical core, where
+type confusion turns into runtime races or corrupted logs):
+``repro.engine``, ``repro.api``, ``repro.index``, ``repro.adaptive``,
+``repro.storage``.
 
 mypy is an optional tool: the production code never imports it, and a
 dev box without it gets a warning and a zero exit (CI installs it and
@@ -37,6 +38,7 @@ TRACKED_PACKAGES: Dict[str, str] = {
     "repro.api": "api",
     "repro.index": "index",
     "repro.adaptive": "adaptive",
+    "repro.storage": "storage",
 }
 
 _MYPY_FLAGS = (

@@ -51,3 +51,18 @@ class PageError(StorageError, ValueError):
 
 class TreeError(StorageError):
     """The B+-tree was used inconsistently (e.g. duplicate key insert)."""
+
+
+class WalError(StorageError):
+    """The write-ahead log was misused or contains an unreadable frame."""
+
+
+class RecoveryError(StorageError):
+    """A durable store directory cannot be recovered into a live store.
+
+    Raised when the directory holds no durable store at all, when the
+    checkpoint manifest or a checkpointed page image fails its CRC, or
+    when the log's header frame (the store's construction parameters)
+    is missing.  A torn WAL *tail* is not an error — recovery truncates
+    it and reports the dropped bytes instead.
+    """

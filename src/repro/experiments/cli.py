@@ -24,6 +24,7 @@ from . import (
     gap_ablation,
     higher_dims,
     lemma5,
+    persistence,
     rows_columns,
     sharded_io,
     table1,
@@ -57,6 +58,7 @@ _SIMPLE: Dict[str, Callable] = {
     "theory": theory_validation.run,
     "gap-ablation": gap_ablation.run,
     "higher-dims": higher_dims.run,
+    "persistence": persistence.run,
     "stretch": stretch_table.run,
 }
 

@@ -103,6 +103,11 @@ class ShardedSFCIndex(SpatialStore):
     recorder:
         Optional :class:`~repro.adaptive.WorkloadRecorder` observing
         planned and executed queries (thread-safe, like the index).
+    durable_path, durable_sync, durable_ops:
+        As on :class:`~repro.index.spatial.SFCIndex`.  Durability is
+        shard-transparent: the WAL logs logical point operations and
+        the checkpoint manifest records the shard map, so recovery
+        rebuilds the same shards, routes and layout.
     """
 
     def __init__(
@@ -118,6 +123,9 @@ class ShardedSFCIndex(SpatialStore):
         max_workers: Optional[int] = None,
         buffer_pages: int = 0,
         recorder=None,
+        durable_path=None,
+        durable_sync: bool = True,
+        durable_ops=None,
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
@@ -160,6 +168,7 @@ class ShardedSFCIndex(SpatialStore):
         self._executor: Optional[ScatterGatherExecutor] = None
         self._epoch = 0  # guarded-by: _mutex
         self._version = 0  # guarded-by: _mutex
+        self._init_durability(durable_path, durable_ops, durable_sync)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -245,6 +254,16 @@ class ShardedSFCIndex(SpatialStore):
             self.flush()
         return self._executor
 
+    @guarded_by("_mutex")
+    def _durable_state(self) -> dict:
+        """Construction parameters for ``recover()`` — the single
+        store's, plus the exact shard map so recovery rebuilds the
+        same routes and per-shard attribution (callers hold the mutex)."""
+        state = super()._durable_state()
+        state["kind"] = "sharded"
+        state["shards"] = [[int(lo), int(hi)] for lo, hi in self._planner.shards]
+        return state
+
     def _snapshot(self):
         """Atomic (planner, layout, executor, epoch) for one generation.
 
@@ -279,6 +298,7 @@ class ShardedSFCIndex(SpatialStore):
         """
         with self._mutex:
             target = num_shards if num_shards is not None else self.num_shards
+            self._log_durable(("rebalance", target))
             entries: List[Tuple[int, List[Record]]] = []
             keys: List[int] = []
             for tree in self._trees:
@@ -341,6 +361,7 @@ class ShardedSFCIndex(SpatialStore):
         with self._mutex:
             if self._version != expected_version:
                 return False
+            self._log_migrate(curve)
             self._retire_executor()
             shard_map = self._planner.shards
             trees = [BPlusTree(order=self._tree_order) for _ in shard_map]

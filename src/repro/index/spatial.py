@@ -72,6 +72,19 @@ class SFCIndex(SpatialStore):
         reports every built plan, the executor every executed query —
         the hooks the adaptive control plane observes live traffic
         through.
+    durable_path:
+        Directory for durable backing (WAL + checkpoints).  When set,
+        every mutation is write-ahead logged before it is applied and
+        :func:`~repro.storage.durable.recover` can rebuild the store
+        after a crash.  The directory must not already hold a durable
+        store — recover that instead.
+    durable_sync:
+        Fsync the WAL on every logged operation (the default).  False
+        trades the per-operation durability guarantee for throughput:
+        a crash may lose a suffix of acknowledged writes, never a torn
+        middle.
+    durable_ops:
+        Filesystem seam for the durable tier (fault injection hook).
     """
 
     def __init__(
@@ -83,6 +96,9 @@ class SFCIndex(SpatialStore):
         cost_model: Optional[CostModel] = None,
         plan_cache_size: int = 256,
         recorder=None,
+        durable_path=None,
+        durable_sync: bool = True,
+        durable_ops=None,
     ):
         if page_capacity < 1:
             raise InvalidQueryError(f"page_capacity must be >= 1, got {page_capacity}")
@@ -105,6 +121,7 @@ class SFCIndex(SpatialStore):
         #: Content version, bumped by every write; the migration protocol
         #: uses it to detect writes racing an optimistic re-key pass.
         self._version = 0
+        self._init_durability(durable_path, durable_ops, durable_sync)
 
     def __len__(self) -> int:
         return self._count
@@ -169,6 +186,7 @@ class SFCIndex(SpatialStore):
         """
         if self._version != expected_version:
             return False
+        self._log_migrate(curve)
         tree = BPlusTree(order=self._tree_order)
         for key, record in keyed:
             bucket = tree.get(key)

@@ -1,14 +1,30 @@
-"""Simulated storage substrate: disk model, buffer pool and B+-tree."""
+"""Storage substrate: disk model, buffer pool, B+-tree — and the
+durable tier (write-ahead log, checkpointed page files, crash
+recovery, fault injection)."""
 
 from .bplustree import BPlusTree
 from .buffer import BufferPool, BufferStats
+from .crash import CrashInjector, InjectedCrash
 from .disk import DiskStats, SimulatedDisk, replay_reads
+from .durable import Durability, RecoveryReport, recover
+from .pagefile import CheckpointManifest
+from .wal import FileOps, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "BPlusTree",
     "BufferPool",
     "BufferStats",
+    "CheckpointManifest",
+    "CrashInjector",
     "DiskStats",
+    "Durability",
+    "FileOps",
+    "InjectedCrash",
+    "RecoveryReport",
     "SimulatedDisk",
+    "WalScan",
+    "WriteAheadLog",
+    "recover",
     "replay_reads",
+    "scan_wal",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Iterable, Tuple
+from typing import Iterable, Set, Tuple
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import PageError
@@ -56,6 +56,7 @@ class DiskStats:
     seeks: int = 0
     sequential_reads: int = 0
     pages_written: int = 0
+    pages_retired: int = 0
 
     @property
     def pages_read(self) -> int:
@@ -82,6 +83,8 @@ class SimulatedDisk:
     stats: DiskStats = field(default_factory=DiskStats)
     _pages: list = field(default_factory=list)
     _head: int = PARKED_HEAD
+    _dead: Set[int] = field(default_factory=set)
+    _reclaimed: Set[int] = field(default_factory=set)
 
     def allocate(self, payload) -> int:
         """Store ``payload`` in a fresh page and return its page id."""
@@ -98,6 +101,8 @@ class SimulatedDisk:
     def read(self, page_id: int):
         """Read a page, charging a seek unless it follows the previous read."""
         self._check(page_id)
+        if page_id in self._reclaimed:
+            raise PageError(f"page {page_id} was reclaimed")
         if page_id == self._head + 1:
             self.stats.sequential_reads += 1
         else:
@@ -109,10 +114,45 @@ class SimulatedDisk:
         if not 0 <= page_id < len(self._pages):
             raise PageError(f"page {page_id} out of range [0, {len(self._pages)})")
 
+    def retire(self, page_ids: Iterable[int]) -> None:
+        """Mark pages dead (superseded by a newer layout).
+
+        Retirement is accounting, not destruction: a retired page stays
+        readable so an in-flight reader of the previous layout
+        generation (a streaming cursor, a sharded scan between per-page
+        lock acquisitions) is never yanked out from under.  Dead pages
+        stop counting toward :attr:`num_live_pages` immediately and
+        their storage is released by the next :meth:`reclaim`.
+        """
+        for page_id in page_ids:
+            self._check(page_id)
+            if page_id not in self._dead:
+                self._dead.add(page_id)
+                self.stats.pages_retired += 1
+
+    def reclaim(self) -> int:
+        """Free the storage of every retired page; return how many.
+
+        After reclaim a dead page's payload is gone and reading it
+        raises :class:`~repro.errors.PageError` — call only when no
+        reader can still hold a plan over a superseded layout.
+        """
+        freed = 0
+        for page_id in self._dead - self._reclaimed:
+            self._pages[page_id] = None
+            self._reclaimed.add(page_id)
+            freed += 1
+        return freed
+
     @property
     def num_pages(self) -> int:
-        """Number of allocated pages."""
+        """Number of pages ever allocated (live and dead)."""
         return len(self._pages)
+
+    @property
+    def num_live_pages(self) -> int:
+        """Pages belonging to the currently installed layouts."""
+        return len(self._pages) - len(self._dead)
 
     def reset_stats(self) -> None:
         """Zero the counters and park the read head."""

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.adaptive import WorkloadRecorder
-from repro.api import Query, QueryResult, SpatialStore
+from repro.api import ANY, Query, QueryResult, SpatialStore
 from repro.curves import make_curve
 from repro.engine.executor import RangeQueryResult
 from repro.engine.scatter import ShardedRangeQueryResult
@@ -148,6 +148,54 @@ class TestLegacyFacades:
             assert store.delete((3, 3), payload="new")
             assert len(store) == before
             assert not store.delete((3, 3), payload="new")
+
+
+class TestDeletePayloadMatching:
+    """Regression: ``payload=None`` used to double as the match-any
+    marker, so a record stored *with* ``payload=None`` could never be
+    targeted specifically.  The :data:`repro.ANY` sentinel is now the
+    default; ``delete(point)`` keeps its match-any meaning and
+    ``delete(point, None)`` matches exactly the None-payload records.
+    """
+
+    def _stores(self):
+        curve = make_curve("onion", SIDE, 2)
+        return (
+            SFCIndex(curve, page_capacity=8),
+            ShardedSFCIndex(curve, num_shards=4, page_capacity=8),
+        )
+
+    def test_payload_none_records_are_targetable(self):
+        for store in self._stores():
+            store.insert((9, 9), None)
+            store.insert((9, 9), "keep")
+            assert store.delete((9, 9), None)
+            payloads = [r.payload for r in store.point_query((9, 9))]
+            assert payloads == ["keep"], payloads
+
+    def test_delete_with_none_does_not_match_other_payloads(self):
+        for store in self._stores():
+            store.insert((9, 9), "only")
+            assert not store.delete((9, 9), None)
+            assert [r.payload for r in store.point_query((9, 9))] == ["only"]
+
+    def test_bare_delete_still_matches_any(self):
+        for store in self._stores():
+            store.insert((9, 9), "a")
+            store.insert((9, 9), None)
+            assert store.delete((9, 9))
+            assert store.delete((9, 9))
+            assert not store.delete((9, 9))
+            assert len(store) == 0
+
+    def test_explicit_any_sentinel_matches_any(self):
+        for store in self._stores():
+            store.insert((9, 9), None)
+            assert store.delete((9, 9), ANY)
+            assert store.point_query((9, 9)) == []
+
+    def test_any_repr_reads_like_the_export(self):
+        assert repr(ANY) == "ANY"
 
 
 class TestTelemetryAndCaching:

@@ -1,0 +1,103 @@
+"""B+-tree deletion under churn: oracle differential with per-op invariants.
+
+The existing property suite checks invariants at the *end* of a
+workload; churn bugs (a borrow that fixes sizes but corrupts the leaf
+chain, a merge that forgets a parent pointer) can appear and then be
+masked by later operations.  This suite drives random interleaved
+insert/delete/get sequences against a sorted-dict oracle and runs the
+full structural check — min/max key bounds, separator ranges, parent
+pointers, leaf ``prev``/``next`` chain — after **every** mutation, so
+the first operation that breaks the structure is the one reported.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.storage.bplustree import BPlusTree
+
+# One churn step: (op, key). Keys cluster in a small space so deletes
+# actually hit — and underflow, borrow and merge — often.
+STEP = st.tuples(st.sampled_from(["insert", "delete", "get"]), st.integers(0, 60))
+SCRIPT = st.lists(STEP, min_size=1, max_size=200)
+ORDERS = st.integers(3, 7)
+
+
+def _run_churn(order, script):
+    tree = BPlusTree(order=order)
+    oracle = {}
+    for step, (op, key) in enumerate(script):
+        if op == "insert":
+            if key in oracle:
+                tree.insert(key, ("v", key, step), replace=True)
+            else:
+                tree.insert(key, ("v", key, step))
+            oracle[key] = ("v", key, step)
+        elif op == "delete":
+            if key in oracle:
+                assert tree.delete(key) == oracle.pop(key)
+            else:
+                try:
+                    tree.delete(key)
+                except TreeError:
+                    pass
+                else:
+                    raise AssertionError(f"step {step}: deleted absent key {key}")
+        else:
+            assert tree.get(key, None) == oracle.get(key, None)
+        if op != "get":
+            tree.check_invariants()
+            assert len(tree) == len(oracle), f"size drift at step {step}"
+    return tree, oracle
+
+
+class TestChurn:
+    @given(ORDERS, SCRIPT)
+    @settings(max_examples=120)
+    def test_interleaved_ops_match_oracle_with_invariants_every_step(
+        self, order, script
+    ):
+        tree, oracle = _run_churn(order, script)
+        assert dict(tree.items()) == oracle
+        assert [k for k, _ in tree.items()] == sorted(oracle)
+
+    @given(ORDERS, st.lists(st.integers(0, 120), min_size=8, unique=True), st.data())
+    def test_drain_to_empty_checks_every_rebalance(self, order, keys, data):
+        """Deleting everything in random order walks through every
+        underflow shape — borrows from both sides, cascading merges,
+        root collapse — with the structure checked after each one."""
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key)
+        order_of_death = data.draw(st.permutations(keys))
+        alive = set(keys)
+        for key in order_of_death:
+            tree.delete(key)
+            alive.discard(key)
+            tree.check_invariants()
+            assert {k for k, _ in tree.items()} == alive
+        assert len(tree) == 0
+        assert tree.get(keys[0], "gone") == "gone"
+
+    @given(ORDERS, st.lists(st.integers(0, 40), min_size=4, unique=True))
+    def test_refill_after_drain_is_structurally_sound(self, order, keys):
+        """A tree that collapsed back to a leaf root must grow again
+        exactly like a fresh one (no stale parent/chain pointers)."""
+        tree = BPlusTree(order=order)
+        for cycle in range(3):
+            for key in keys:
+                tree.insert(key, (cycle, key))
+                tree.check_invariants()
+            for key in keys:
+                tree.delete(key)
+                tree.check_invariants()
+        assert len(tree) == 0
+
+    @given(ORDERS, SCRIPT)
+    @settings(max_examples=40)
+    def test_leaf_chain_scan_matches_oracle_after_churn(self, order, script):
+        """The leaf chain (what range scans and flushes walk) holds
+        exactly the oracle's sorted items after arbitrary churn."""
+        tree, oracle = _run_churn(order, script)
+        lo, hi = 0, 60
+        assert list(tree.range_scan(lo, hi)) == sorted(oracle.items())

@@ -1,0 +1,119 @@
+"""Page retirement: repeated flushes must not leak simulated disk.
+
+Before this regression suite, every ``flush()`` appended a fresh copy
+of all pages to the append-only :class:`SimulatedDisk` and the
+superseded layout's pages stayed live forever — N flushes grew the
+store N-fold.  Now ``_install_layout`` / ``_invalidate_layout`` retire
+the outgoing layout's pages: still readable (an in-flight reader of
+the old generation must survive) but dead for accounting, and
+reclaimable once no reader can hold a stale plan.
+"""
+
+import pytest
+
+from repro import Query, Rect, SFCIndex, ShardedSFCIndex, make_curve
+from repro.errors import PageError
+from repro.storage.disk import SimulatedDisk
+
+SIDE = 8
+FULL = Rect.from_origin((0, 0), (SIDE, SIDE))
+
+
+def _build(kind):
+    curve = make_curve("onion", SIDE, 2)
+    if kind == "single":
+        return SFCIndex(curve, page_capacity=4)
+    return ShardedSFCIndex(curve, num_shards=2, page_capacity=4)
+
+
+class TestDiskAccounting:
+    def test_retire_marks_dead_but_readable(self):
+        disk = SimulatedDisk()
+        pages = [disk.allocate(f"page-{i}") for i in range(4)]
+        disk.retire(pages[:2])
+        assert disk.num_pages == 4
+        assert disk.num_live_pages == 2
+        assert disk.stats.pages_retired == 2
+        assert disk.read(pages[0]) == "page-0"  # retired != unreadable
+
+    def test_retire_is_idempotent(self):
+        disk = SimulatedDisk()
+        page = disk.allocate("p")
+        disk.retire([page])
+        disk.retire([page])
+        assert disk.stats.pages_retired == 1
+        assert disk.num_live_pages == 0
+
+    def test_retire_validates_page_ids(self):
+        disk = SimulatedDisk()
+        with pytest.raises(PageError):
+            disk.retire([7])
+
+    def test_reclaim_frees_storage_and_poisons_reads(self):
+        disk = SimulatedDisk()
+        pages = [disk.allocate(f"page-{i}") for i in range(3)]
+        disk.retire(pages[:2])
+        assert disk.reclaim() == 2
+        assert disk.reclaim() == 0  # nothing left to free
+        with pytest.raises(PageError, match="reclaimed"):
+            disk.read(pages[0])
+        assert disk.read(pages[2]) == "page-2"  # live page untouched
+
+
+@pytest.mark.parametrize("kind", ["single", "sharded"])
+class TestStoreLiveness:
+    def test_flush_query_cycles_keep_live_pages_constant(self, kind):
+        store = _build(kind)
+        store.bulk_load([(x, y) for x in range(SIDE) for y in range(SIDE)])
+        store.flush()
+        live = store.disk.num_live_pages
+        assert live > 0
+        for cycle in range(5):
+            store.insert((1, 1), f"churn-{cycle}")
+            store.delete((1, 1), f"churn-{cycle}")
+            result = store.range_query(FULL)  # forces a reflush
+            assert len(result.records) == SIDE * SIDE
+            assert store.disk.num_live_pages == live, f"leak at cycle {cycle}"
+        # The dead copies are what the append-only disk accumulated.
+        assert store.disk.num_pages > live
+        assert store.disk.stats.pages_retired == store.disk.num_pages - live
+
+    def test_explicit_double_flush_retires_previous_layout(self, kind):
+        store = _build(kind)
+        store.bulk_load([(x, y) for x in range(SIDE) for y in range(2)])
+        store.flush()
+        live = store.disk.num_live_pages
+        store.flush()  # no writes in between: same content, new copy
+        assert store.disk.num_live_pages == live
+        assert store.disk.num_pages == 2 * live
+
+    def test_migration_retires_the_old_curve_layout(self, kind):
+        store = _build(kind)
+        store.bulk_load([(x, y) for x in range(SIDE) for y in range(SIDE)])
+        store.flush()
+        live = store.disk.num_live_pages
+        store.migrate_to(make_curve("hilbert", SIDE, 2))
+        assert store.disk.num_live_pages == live
+
+    def test_reclaim_after_quiesce_keeps_queries_working(self, kind):
+        store = _build(kind)
+        store.bulk_load([(x, y) for x in range(SIDE) for y in range(SIDE)])
+        store.range_query(FULL)
+        store.insert((2, 2), "x")
+        store.range_query(FULL)  # reflush: first layout now dead
+        freed = store.disk.reclaim()
+        assert freed > 0
+        result = store.range_query(FULL)
+        assert len(result.records) == SIDE * SIDE + 1
+
+    def test_streaming_reader_survives_a_reflush(self, kind):
+        """Retirement (not reclaim) is what a layout swap does, so a
+        cursor that snapshotted the old generation keeps streaming."""
+        store = _build(kind)
+        store.bulk_load([(x, y) for x in range(SIDE) for y in range(SIDE)])
+        cursor = store.cursor(Query.rect(FULL))
+        first = next(iter(cursor))
+        store.insert((3, 3), "mid-scan")
+        store.flush()  # retires the generation the cursor is reading
+        rows = [first] + list(cursor)
+        assert len(rows) == SIDE * SIDE

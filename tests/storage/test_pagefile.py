@@ -1,0 +1,104 @@
+"""Unit tests for checkpoint page files and the atomic manifest."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.storage.pagefile import (
+    MANIFEST_NAME,
+    CheckpointManifest,
+    load_manifest,
+    load_pages,
+    pages_file_name,
+    wal_file_name,
+    write_checkpoint,
+)
+from repro.storage.wal import FileOps
+
+PAGES = [
+    [((0, 0), "a"), ((0, 1), None)],
+    [((1, 0), {"rich": [1, 2]}), ((1, 1), "d")],
+    [((2, 0), "e")],
+]
+
+
+def _checkpoint(root, generation=1, pages=PAGES):
+    return write_checkpoint(
+        root,
+        FileOps(),
+        generation,
+        pages,
+        {"kind": "single", "curve": ["onion", 8, 2]},
+        wal_file_name(0),
+        123,
+    )
+
+
+class TestManifest:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        written = _checkpoint(tmp_path)
+        loaded = load_manifest(tmp_path)
+        assert loaded == written
+        assert loaded.generation == 1
+        assert loaded.wal_file == wal_file_name(0)
+        assert loaded.wal_offset == 123
+        assert loaded.pages_file == pages_file_name(1)
+        assert loaded.record_count == 5
+        assert len(loaded.page_index) == len(PAGES)
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        _checkpoint(tmp_path)
+        assert not (tmp_path / (MANIFEST_NAME + ".tmp")).exists()
+
+    def test_corrupt_manifest_raises_recovery_error(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_bytes(b'{"generation": "not enough"}')
+        with pytest.raises(RecoveryError):
+            load_manifest(tmp_path)
+
+    def test_json_roundtrip_preserves_every_field(self):
+        manifest = CheckpointManifest(
+            generation=7,
+            wal_file=wal_file_name(7),
+            wal_offset=99,
+            pages_file=pages_file_name(7),
+            page_index=((0, 10, 123), (10, 20, 456)),
+            state={"kind": "sharded", "shards": [[0, 31], [32, 63]]},
+            record_count=42,
+        )
+        assert CheckpointManifest.from_json(manifest.to_json()) == manifest
+
+
+class TestPageImages:
+    def test_load_pages_roundtrip(self, tmp_path):
+        manifest = _checkpoint(tmp_path)
+        assert load_pages(tmp_path, manifest) == PAGES
+
+    def test_empty_store_checkpoints_cleanly(self, tmp_path):
+        manifest = _checkpoint(tmp_path, pages=[])
+        assert manifest.record_count == 0
+        assert load_pages(tmp_path, manifest) == []
+
+    def test_corrupt_page_image_fails_its_crc(self, tmp_path):
+        manifest = _checkpoint(tmp_path)
+        path = tmp_path / manifest.pages_file
+        data = bytearray(path.read_bytes())
+        data[manifest.page_index[1][0]] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(RecoveryError, match="CRC"):
+            load_pages(tmp_path, manifest)
+
+    def test_missing_page_file_raises(self, tmp_path):
+        manifest = _checkpoint(tmp_path)
+        (tmp_path / manifest.pages_file).unlink()
+        with pytest.raises(RecoveryError, match="missing"):
+            load_pages(tmp_path, manifest)
+
+    def test_new_generation_replaces_root_pointer(self, tmp_path):
+        _checkpoint(tmp_path, generation=1)
+        _checkpoint(tmp_path, generation=2, pages=PAGES[:1])
+        loaded = load_manifest(tmp_path)
+        assert loaded.generation == 2
+        assert loaded.record_count == 2
+        assert load_pages(tmp_path, loaded) == PAGES[:1]

@@ -1,0 +1,140 @@
+"""Unit tests for the WAL frame codec and torn-tail detection."""
+
+import zlib
+
+import pytest
+
+from repro.errors import WalError
+from repro.storage.wal import (
+    FRAME_HEADER,
+    FileOps,
+    WriteAheadLog,
+    encode_frame,
+    encode_op,
+    scan_wal,
+)
+
+
+def _append_ops(path, ops):
+    wal = WriteAheadLog(path)
+    for op in ops:
+        wal.append(op)
+    wal.close()
+    return wal
+
+
+class TestFrameCodec:
+    def test_roundtrip_through_scan(self, tmp_path):
+        ops = [("header", {"kind": "single"}), ("insert", (1, 2), "a"), ("flush",)]
+        path = tmp_path / "wal.log"
+        _append_ops(path, ops)
+        scan = scan_wal(path)
+        assert [op for _, op in scan.frames] == ops
+        assert scan.torn_bytes == 0
+        assert scan.valid_size == scan.file_size == path.stat().st_size
+
+    def test_end_offsets_are_cumulative_frame_ends(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _append_ops(path, [("insert", (0, 0), None), ("flush",)])
+        scan = scan_wal(path)
+        first_end, _ = scan.frames[0]
+        body = encode_op(("insert", (0, 0), None))
+        assert first_end == FRAME_HEADER.size + len(body)
+        assert scan.frames[1][0] == scan.valid_size
+
+    def test_append_returns_growing_offsets(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        a = wal.append(("insert", (0, 0), None))
+        b = wal.append(("insert", (1, 1), None))
+        assert 0 < a < b == wal.size
+        wal.close()
+
+    def test_append_rejects_non_tuple_ops(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(WalError):
+            wal.append(["not", "a", "tuple"])
+        with pytest.raises(WalError):
+            wal.append(())
+
+    def test_reopen_resumes_at_file_size(self, tmp_path):
+        path = tmp_path / "wal.log"
+        first = _append_ops(path, [("flush",)])
+        wal = WriteAheadLog(path)
+        assert wal.size == first.size == path.stat().st_size
+        wal.append(("flush",))
+        assert len(scan_wal(path).frames) == 2
+        wal.close()
+
+
+class TestTornTailDetection:
+    def test_truncated_mid_body_drops_only_last_frame(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _append_ops(path, [("insert", (1, 1), "a"), ("insert", (2, 2), "b")])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        scan = scan_wal(path)
+        assert [op for _, op in scan.frames] == [("insert", (1, 1), "a")]
+        assert scan.torn_bytes > 0
+
+    def test_truncated_mid_header_drops_only_last_frame(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _append_ops(path, [("flush",), ("flush",)])
+        full = scan_wal(path)
+        cut = full.frames[0][0] + FRAME_HEADER.size // 2
+        path.write_bytes(path.read_bytes()[:cut])
+        scan = scan_wal(path)
+        assert len(scan.frames) == 1
+        assert scan.valid_size == full.frames[0][0]
+
+    def test_corrupt_crc_stops_the_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _append_ops(path, [("flush",), ("insert", (1, 1), "a"), ("flush",)])
+        data = bytearray(path.read_bytes())
+        first_end = scan_wal(path).frames[0][0]
+        data[first_end + FRAME_HEADER.size] ^= 0xFF  # flip a body byte
+        path.write_bytes(bytes(data))
+        scan = scan_wal(path)
+        assert [op for _, op in scan.frames] == [("flush",)]
+        assert scan.torn_bytes == len(data) - first_end
+
+    def test_garbage_tail_after_valid_frames(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _append_ops(path, [("flush",)])
+        valid = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 5)
+        scan = scan_wal(path)
+        assert scan.valid_size == valid
+        assert scan.torn_bytes == 20
+
+    def test_valid_frame_cannot_hide_behind_a_bad_one(self, tmp_path):
+        # A frame with a bad CRC followed by a perfectly valid frame:
+        # the scan must stop at the bad frame (replaying past a hole
+        # would reorder history).
+        path = tmp_path / "wal.log"
+        body = encode_op(("flush",))
+        bad = FRAME_HEADER.pack(len(body), zlib.crc32(body) ^ 1) + body
+        path.write_bytes(bad + encode_frame(body))
+        scan = scan_wal(path)
+        assert scan.frames == ()
+        assert scan.valid_size == 0
+
+
+class TestFileOps:
+    def test_write_file_is_complete_and_synced(self, tmp_path):
+        ops = FileOps()
+        target = tmp_path / "blob.bin"
+        ops.write_file(target, b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_replace_is_atomic_commit(self, tmp_path):
+        ops = FileOps()
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"new")
+        b.write_bytes(b"old")
+        ops.replace(a, b)
+        assert b.read_bytes() == b"new"
+        assert not a.exists()
+
+    def test_unlink_tolerates_missing(self, tmp_path):
+        FileOps().unlink(tmp_path / "never-existed")

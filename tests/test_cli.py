@@ -224,6 +224,47 @@ class TestRenderCommand:
         assert "o" in out
 
 
+class TestDurabilityCommands:
+    def _seed(self, tmp_path, *extra):
+        root = tmp_path / "store"
+        assert main(["query", "--side", "8", "--points", "50",
+                     "--rect", "1,1:6,6", "--durable", str(root), *extra]) == 0
+        return root
+
+    def test_recover_replays_a_durable_query_run(self, tmp_path, capsys):
+        root = self._seed(tmp_path)
+        assert main(["recover", "--path", str(root), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered SFCIndex: 50 record(s)" in out
+        assert "WAL frame(s) replayed" in out
+        assert "verify: OK" in out
+
+    def test_recover_sharded_store_reports_shards(self, tmp_path, capsys):
+        root = self._seed(tmp_path, "--shards", "3")
+        assert main(["recover", "--path", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered ShardedSFCIndex" in out
+        assert "3 shards" in out
+
+    def test_checkpoint_then_recover_replays_no_frames(self, tmp_path, capsys):
+        root = self._seed(tmp_path)
+        assert main(["checkpoint", "--path", str(root), "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint generation 1" in out
+        assert "WAL rotated" in out
+        assert main(["recover", "--path", str(root), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert "0 WAL frame(s) replayed" in out
+        assert "verify: OK" in out
+
+    def test_recover_missing_store_raises_typed_error(self, tmp_path):
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError):
+            main(["recover", "--path", str(tmp_path / "nothing")])
+
+
 class TestExperimentsDelegation:
     def test_experiments_subcommand(self, capsys):
         assert main(["experiments", "fig2"]) == 0
