@@ -1,0 +1,42 @@
+"""Shared wall-clock latency summarisation for the ``BENCH_*`` emitters.
+
+Per-call p50/p99 come from the same log2-bucket
+:class:`repro.obs.metrics.Histogram` the live metrics plane uses, so the
+benchmark artifacts and a production ``repro metrics`` scrape report
+latency through one estimator (bucket upper bounds, exact for
+single-valued streams, clamped to the observed max).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def summarize_latencies(
+    seconds: Iterable[float], prefix: str = "wall"
+) -> Dict[str, float]:
+    """``{prefix}_p50_ms`` / ``{prefix}_p99_ms`` over per-call seconds."""
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("bench_wall_seconds", "per-call wall time")
+    for value in seconds:
+        histogram.observe(value)
+    snapshot = histogram.snapshot()
+    return {
+        f"{prefix}_p50_ms": round(float(snapshot["p50"]) * 1000.0, 4),
+        f"{prefix}_p99_ms": round(float(snapshot["p99"]) * 1000.0, 4),
+    }
+
+
+def wall_latency_stats(
+    fn: Callable[[], object], repeats: int = 30, prefix: str = "wall"
+) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times and summarize its per-call latency."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return summarize_latencies(samples, prefix=prefix)

@@ -32,6 +32,8 @@ from repro.experiments import adaptive as adaptive_experiment
 from repro.geometry import Rect
 from repro.index import SFCIndex
 
+from _latency import summarize_latencies
+
 BENCH_JSON_PATH = Path(__file__).resolve().parent / "BENCH_adaptive.json"
 
 SIDE = 32
@@ -88,9 +90,12 @@ def adaptive_records():
     migration_wall = None
     migration = None
     static_seeks, adaptive_seeks = [], []
+    query_laps = []
     for i, rect in enumerate(_trace()):
         static_seeks.append(static.range_query(rect).seeks)
+        lap0 = time.perf_counter()
         adaptive_seeks.append(adaptive.range_query(rect).seeks)
+        query_laps.append(time.perf_counter() - lap0)
         t0 = time.perf_counter()
         event = controller.maybe_adapt()
         elapsed = time.perf_counter() - t0
@@ -118,6 +123,7 @@ def adaptive_records():
         "tail_seeks_adaptive": tail_adaptive,
         "tail_seek_reduction": round(tail_static / tail_adaptive, 3),
         "target_curve": adaptive.curve.name,
+        **summarize_latencies(query_laps, prefix="query_wall"),
     }
     BENCH_JSON_PATH.write_text(json.dumps([record], indent=2) + "\n")
     print(f"\n[adaptive benchmark written to {BENCH_JSON_PATH}]")

@@ -28,6 +28,8 @@ from repro.experiments import persistence as persistence_experiment
 from repro.index import SFCIndex
 from repro.storage import WriteAheadLog, recover
 
+from _latency import summarize_latencies
+
 BENCH_JSON_PATH = Path(__file__).resolve().parent / "BENCH_persistence.json"
 
 SIDE = 16
@@ -65,9 +67,12 @@ def persistence_records(tmp_path_factory):
         ("fsync", True, FSYNC_APPENDS),
     ):
         wal = WriteAheadLog(base / f"{label}.log", sync=sync)
+        laps = []
         t0 = time.perf_counter()
         for i in range(count):
+            lap0 = time.perf_counter()
             wal.append(_op(i))
+            laps.append(time.perf_counter() - lap0)
         elapsed = time.perf_counter() - t0
         wal.close()
         record[f"wal_append_{label}"] = {
@@ -75,6 +80,7 @@ def persistence_records(tmp_path_factory):
             "bytes": wal.size,
             "wall_seconds": round(elapsed, 6),
             "ops_per_second": round(count / elapsed, 1),
+            **summarize_latencies(laps, prefix="append_wall"),
         }
 
     recovery = []

@@ -30,6 +30,8 @@ from repro.curves import make_curve
 from repro.geometry import Rect
 from repro.index import SFCIndex
 
+from _latency import summarize_latencies, wall_latency_stats
+
 BENCH_JSON_PATH = Path(__file__).resolve().parent / "BENCH_query_api.json"
 
 SIDE = 64
@@ -83,6 +85,11 @@ def bench_records(index):
                 and stats.seeks == materialized.seeks
                 and stats.pages_read == materialized.pages_read
             ),
+            **wall_latency_stats(
+                lambda: sum(1 for _ in index.cursor(Query.rect(whole))),
+                repeats=15,
+                prefix="wall",
+            ),
         }
     )
 
@@ -106,8 +113,13 @@ def bench_records(index):
     # --- knn latency -------------------------------------------------
     rng = np.random.default_rng(43)
     queries = [tuple(map(int, p)) for p in rng.integers(0, SIDE, size=(KNN_POINTS, 2))]
+    results = []
+    laps = []
     t0 = time.perf_counter()
-    results = [index.knn(point, 10) for point in queries]
+    for point in queries:
+        lap0 = time.perf_counter()
+        results.append(index.knn(point, 10))
+        laps.append(time.perf_counter() - lap0)
     wall = time.perf_counter() - t0
     records.append(
         {
@@ -121,6 +133,7 @@ def bench_records(index):
             ),
             "avg_sim_ms": round(sum(r.cost() for r in results) / KNN_POINTS, 2),
             "wall_ms_per_query": round(1000.0 * wall / KNN_POINTS, 3),
+            **summarize_latencies(laps, prefix="wall"),
         }
     )
 

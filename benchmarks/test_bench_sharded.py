@@ -31,6 +31,8 @@ from repro.experiments import sharded_io
 from repro.geometry import Rect
 from repro.index import SFCIndex, ShardedSFCIndex
 
+from _latency import summarize_latencies
+
 BENCH_JSON_PATH = Path(__file__).resolve().parent / "BENCH_sharded.json"
 
 SIDE = 64
@@ -88,6 +90,14 @@ def sharded_records(rects, single_index):
     t0 = time.perf_counter()
     batch = index.range_query_batch(rects)
     wall = time.perf_counter() - t0
+    # Per-query wall latency of individual scatter-gather scans (the
+    # batch above amortizes planning; this is the interactive path).
+    laps = []
+    for rect in rects[:100]:
+        lap0 = time.perf_counter()
+        index.range_query(rect)
+        laps.append(time.perf_counter() - lap0)
+    latency = summarize_latencies(laps, prefix="query_wall")
     records = []
     for workers in WORKER_COUNTS:
         sim_ms = batch.parallel_cost(workers=workers)
@@ -109,6 +119,7 @@ def sharded_records(rects, single_index):
                 "sim_batch_ms": round(sim_ms, 2),
                 "sim_throughput_qps": round(len(rects) / (sim_ms / 1000.0), 1),
                 "wall_batch_seconds": round(wall, 6),
+                **latency,
             }
         )
     BENCH_JSON_PATH.write_text(json.dumps(records, indent=2) + "\n")

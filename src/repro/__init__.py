@@ -123,8 +123,19 @@ from .adaptive import (
     OnlineMigrator,
     WorkloadRecorder,
 )
+from .obs import (
+    EVENTS,
+    METRICS,
+    EventStream,
+    MetricsRegistry,
+    Span,
+    Trace,
+    disable_metrics,
+    enable_metrics,
+    start_trace,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SpaceFillingCurve",
@@ -179,6 +190,15 @@ __all__ = [
     "MigrationReport",
     "OnlineMigrator",
     "WorkloadRecorder",
+    "EVENTS",
+    "METRICS",
+    "EventStream",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "disable_metrics",
+    "enable_metrics",
+    "start_trace",
     "ReproError",
     "__version__",
 ]

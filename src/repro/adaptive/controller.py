@@ -25,11 +25,22 @@ from typing import Deque, Optional, Sequence, Tuple
 from ..curves.base import SpaceFillingCurve
 from ..devtools.annotations import guarded_by
 from ..errors import InvalidQueryError
+from ..obs.events import EVENTS
+from ..obs.metrics import METRICS
 from .drift import DriftDetector, DriftReport
 from .migrator import MigrationReport, OnlineMigrator
 from .recorder import WorkloadRecorder
 
 __all__ = ["AdaptationEvent", "AdaptiveController"]
+
+_CHECKS = METRICS.counter("repro_adaptive_checks_total", "drift checks run")
+_MIGRATIONS = METRICS.counter(
+    "repro_adaptive_migrations_total", "migrations performed by the control loop"
+)
+_EVENTS_DROPPED = METRICS.counter(
+    "repro_adaptive_events_dropped_total",
+    "decisions evicted from a controller's bounded audit log",
+)
 
 
 @dataclass(frozen=True)
@@ -113,6 +124,10 @@ class AdaptiveController:
             )
         # guarded-by: _loop_lock
         self._events: Deque[AdaptationEvent] = deque(maxlen=event_log_size)
+        # Decisions evicted once the audit log wraps — never silent:
+        # the counter (and the unified obs stream, which every decision
+        # is bridged into) outlive the bounded ring.
+        self._events_dropped = 0  # guarded-by: _loop_lock
         # One check/migration at a time; serving threads calling
         # maybe_adapt concurrently must not race a double migration.
         self._loop_lock = threading.Lock()
@@ -144,6 +159,18 @@ class AdaptiveController:
             return tuple(self._events)
 
     @property
+    def events_dropped(self) -> int:
+        """Decisions evicted from :attr:`events` since construction.
+
+        Non-zero means :attr:`events` is a *suffix* of the decision
+        history — consult the unified obs stream (`repro events`) or
+        the ``repro_adaptive_events_dropped_total`` counter for the
+        loss, never assume the log is complete.
+        """
+        with self._loop_lock:
+            return self._events_dropped
+
+    @property
     def last_report(self) -> Optional[DriftReport]:
         """The most recent drift report, or None before the first check."""
         with self._loop_lock:
@@ -164,7 +191,27 @@ class AdaptiveController:
             if migration.migrated and self._reset_recorder:
                 self._recorder.clear()
         event = AdaptationEvent(report=report, migration=migration)
+        if len(self._events) == self._events.maxlen:
+            # The ring is about to evict its oldest decision: count the
+            # loss instead of hiding it (the bug this replaces).
+            self._events_dropped += 1
+            _EVENTS_DROPPED.inc()
         self._events.append(event)
+        _CHECKS.inc()
+        if migration is not None and migration.migrated:
+            _MIGRATIONS.inc()
+        # Bridge every decision into the unified obs stream, which has
+        # its own (counted) eviction policy and a CLI tail.
+        EVENTS.emit(
+            "adaptation",
+            "migrated to {}".format(migration.new_curve.name)
+            if migration is not None and migration.migrated
+            else "checked (no migration)",
+            drifted=report.drifted,
+            current_curve=self._index.curve.name,
+            best_curve=report.best.curve.name,
+            migrated=migration is not None and migration.migrated,
+        )
         return event
 
     def maybe_adapt(self) -> Optional[AdaptationEvent]:

@@ -38,8 +38,16 @@ import numpy as np
 from ..curves.base import SpaceFillingCurve
 from ..errors import InvalidQueryError
 from ..engine.executor import Record
+from ..obs.events import EVENTS
+from ..obs.metrics import METRICS
+from ..obs.trace import span as _obs_span
 
 __all__ = ["MigrationReport", "OnlineMigrator"]
+
+_MIGRATIONS = METRICS.counter("repro_migrations_total", "curve migrations completed")
+_MIGRATION_BATCHES = METRICS.counter(
+    "repro_migration_batches_total", "bounded re-key chunks processed"
+)
 
 #: Progress hook: ``on_batch(records_rekeyed, records_total)`` after each
 #: chunk — tests use it to issue queries mid-migration.
@@ -148,12 +156,16 @@ class OnlineMigrator:
         batches = 0
         for start in range(0, total, self._batch_size):
             chunk = entries[start : start + self._batch_size]
-            cells = np.asarray([record.point for _, record in chunk], dtype=np.int64)
-            keys = target.index_many(cells)
-            keyed.extend(
-                (int(key), record) for key, (_, record) in zip(keys, chunk)
-            )
-            batches += 1
+            with _obs_span("migration_batch", kind="migration") as sp:
+                cells = np.asarray([record.point for _, record in chunk], dtype=np.int64)
+                keys = target.index_many(cells)
+                keyed.extend(
+                    (int(key), record) for key, (_, record) in zip(keys, chunk)
+                )
+                batches += 1
+                sp.set("batch", batches)
+                sp.set("records", len(chunk))
+            _MIGRATION_BATCHES.inc()
             if self._on_batch is not None and not quiet:
                 self._on_batch(min(start + self._batch_size, total), total)
         keyed.sort(key=lambda pair: pair[0])
@@ -184,14 +196,48 @@ class OnlineMigrator:
         epoch_before = index.epoch
         pages_before = index.disk.stats.pages_written
         attempts = 0
-        # Optimistic attempts: snapshot and re-key without blocking
-        # writers; the cutover refuses when the version moved.
-        while attempts < self._max_attempts - 1:
+        with _obs_span("migrate", kind="migration") as sp:
+            sp.set("from", incumbent.name)
+            sp.set("to", target.name)
+            # Optimistic attempts: snapshot and re-key without blocking
+            # writers; the cutover refuses when the version moved.
+            while attempts < self._max_attempts - 1:
+                attempts += 1
+                version, entries = index._migration_snapshot()
+                keyed, batches = self._rekey(target, entries)
+                if index._migration_cutover(target, keyed, version):
+                    sp.set("records", len(keyed))
+                    sp.set("attempts", attempts)
+                    return self._report_done(
+                        MigrationReport(
+                            old_curve=incumbent,
+                            new_curve=target,
+                            migrated=True,
+                            records=len(keyed),
+                            batches=batches,
+                            batch_size=self._batch_size,
+                            attempts=attempts,
+                            pages_written=index.disk.stats.pages_written - pages_before,
+                            epoch_before=epoch_before,
+                            epoch_after=index.epoch,
+                        )
+                    )
+            # Final attempt: hold the migration lock across snapshot, re-key
+            # and cutover — writers wait, the version cannot move.  Progress
+            # hooks are suppressed (quiet) so no callback can write through
+            # the re-entrant lock and dirty the frozen version.
             attempts += 1
-            version, entries = index._migration_snapshot()
-            keyed, batches = self._rekey(target, entries)
-            if index._migration_cutover(target, keyed, version):
-                return MigrationReport(
+            with index._migration_lock:
+                version, entries = index._migration_snapshot()
+                keyed, batches = self._rekey(target, entries, quiet=True)
+                if not index._migration_cutover(target, keyed, version):
+                    raise AssertionError(
+                        "cutover failed under the migration lock"
+                    )  # pragma: no cover
+            sp.set("records", len(keyed))
+            sp.set("attempts", attempts)
+            return self._report_done(
+                MigrationReport(
                     old_curve=incumbent,
                     new_curve=target,
                     migrated=True,
@@ -203,27 +249,18 @@ class OnlineMigrator:
                     epoch_before=epoch_before,
                     epoch_after=index.epoch,
                 )
-        # Final attempt: hold the migration lock across snapshot, re-key
-        # and cutover — writers wait, the version cannot move.  Progress
-        # hooks are suppressed (quiet) so no callback can write through
-        # the re-entrant lock and dirty the frozen version.
-        attempts += 1
-        with index._migration_lock:
-            version, entries = index._migration_snapshot()
-            keyed, batches = self._rekey(target, entries, quiet=True)
-            if not index._migration_cutover(target, keyed, version):
-                raise AssertionError(
-                    "cutover failed under the migration lock"
-                )  # pragma: no cover
-        return MigrationReport(
-            old_curve=incumbent,
-            new_curve=target,
-            migrated=True,
-            records=len(keyed),
-            batches=batches,
-            batch_size=self._batch_size,
-            attempts=attempts,
-            pages_written=index.disk.stats.pages_written - pages_before,
-            epoch_before=epoch_before,
-            epoch_after=index.epoch,
+            )
+
+    @staticmethod
+    def _report_done(report: MigrationReport) -> MigrationReport:
+        """Count and announce a completed migration (single funnel)."""
+        _MIGRATIONS.inc()
+        EVENTS.emit(
+            "migration",
+            f"{report.old_curve.name} -> {report.new_curve.name}",
+            records=report.records,
+            batches=report.batches,
+            attempts=report.attempts,
+            epoch_after=report.epoch_after,
         )
+        return report

@@ -21,6 +21,7 @@ against a brute-force oracle in 2-d and 3-d.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
@@ -28,6 +29,8 @@ from ..engine.cost import DEFAULT_COST_MODEL, CostModel
 from ..engine.executor import Record
 from ..errors import InvalidQueryError
 from ..geometry import Rect, check_cell
+from ..obs.metrics import METRICS as _OBS_METRICS
+from ..obs.trace import span as _obs_span
 from .query import Query
 
 __all__ = ["KNNResult", "Neighbor", "knn_search"]
@@ -35,6 +38,14 @@ __all__ = ["KNNResult", "Neighbor", "knn_search"]
 #: Supported distance metrics (all dominate L∞, which is what the
 #: expanding-box stopping rule requires).
 METRICS = ("euclidean", "manhattan", "chebyshev")
+
+_KNN_QUERIES = _OBS_METRICS.counter("repro_knn_queries_total", "kNN searches served")
+_KNN_EXPANSIONS = _OBS_METRICS.counter(
+    "repro_knn_expansions_total", "box expansions across all kNN searches"
+)
+_KNN_LATENCY = _OBS_METRICS.histogram(
+    "repro_knn_latency_seconds", "wall time of one kNN search"
+)
 
 
 def _distance(a: Sequence[int], b: Sequence[int], metric: str) -> float:
@@ -123,30 +134,42 @@ def knn_search(store, point: Sequence[int], k: int, metric: str = "euclidean"):
 
     seeks = sequential = expansions = scanned = 0
     best: Tuple[Tuple[float, Tuple[int, ...], Record], ...] = ()
-    if k > 0:
-        radius = 1
-        while True:
-            lo = tuple(max(0, c - radius) for c in cell)
-            hi = tuple(min(side - 1, c + radius) for c in cell)
-            result = store.execute(Query.rect(Rect(lo, hi)))
-            expansions += 1
-            seeks += result.seeks
-            sequential += result.sequential_reads
-            scanned += len(result.records) + result.over_read
-            best = tuple(
-                sorted(
-                    (
-                        (_distance(record.point, cell, metric), record.point, record)
-                        for record in result.records
-                    ),
-                    key=lambda entry: entry[:2],
-                )[:k]
-            )
-            if len(best) == k and best[-1][0] <= radius:
-                break
-            if lo == (0,) * dim and hi == (side - 1,) * dim:
-                break  # the box is the whole universe; nothing is missing
-            radius *= 2
+    started = time.perf_counter() if _OBS_METRICS.enabled else 0.0
+    with _obs_span("knn", kind="query") as sp:
+        if k > 0:
+            radius = 1
+            while True:
+                lo = tuple(max(0, c - radius) for c in cell)
+                hi = tuple(min(side - 1, c + radius) for c in cell)
+                result = store.execute(Query.rect(Rect(lo, hi)))
+                expansions += 1
+                seeks += result.seeks
+                sequential += result.sequential_reads
+                scanned += len(result.records) + result.over_read
+                best = tuple(
+                    sorted(
+                        (
+                            (_distance(record.point, cell, metric), record.point, record)
+                            for record in result.records
+                        ),
+                        key=lambda entry: entry[:2],
+                    )[:k]
+                )
+                if len(best) == k and best[-1][0] <= radius:
+                    break
+                if lo == (0,) * dim and hi == (side - 1,) * dim:
+                    break  # the box is the whole universe; nothing is missing
+                radius *= 2
+        sp.set("k", k)
+        sp.set("metric", metric)
+        sp.set("expansions", expansions)
+        sp.set("seeks", seeks)
+        sp.set("sequential_reads", sequential)
+        sp.set("records_scanned", scanned)
+    if _OBS_METRICS.enabled:
+        _KNN_QUERIES.inc()
+        _KNN_EXPANSIONS.inc(expansions)
+        _KNN_LATENCY.observe(time.perf_counter() - started)
     return KNNResult(
         point=cell,
         neighbors=tuple(Neighbor(record, distance) for distance, _, record in best),

@@ -49,6 +49,7 @@ from ..engine.executor import Record
 from ..engine.plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
 from ..errors import InvalidQueryError, OutOfUniverseError, StorageError
 from ..geometry import Rect
+from ..obs.trace import span as _obs_span
 from ..storage.disk import SimulatedDisk
 from .cursor import Cursor, QueryResult
 from .query import Query, RectUnion
@@ -590,12 +591,15 @@ class SpatialStore(abc.ABC):
         invalidated: both refer to the previous layout).
         """
         with self._mutex:
-            self._log_durable(("flush",))
-            self._retire_executor()
-            layout = pack_layout(
-                self._disk, self._page_capacity, self._flush_entries()
-            )
-            self._install_layout(layout)
+            with _obs_span("flush", kind="storage") as sp:
+                self._log_durable(("flush",))
+                self._retire_executor()
+                layout = pack_layout(
+                    self._disk, self._page_capacity, self._flush_entries()
+                )
+                self._install_layout(layout)
+                sp.set("pages", len(layout.page_ids))
+                sp.set("epoch", self._epoch)
 
     # ------------------------------------------------------------------
     # Planning
@@ -617,11 +621,13 @@ class SpatialStore(abc.ABC):
         rect.check_fits(self._curve.side)
         if self._plan_cache is None:
             return planner.plan(rect, policy, layout=layout)
-        key = (epoch, self._curve, rect, policy)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = planner.plan(rect, policy, layout=layout)
-            self._plan_cache.put(key, plan)
+        with _obs_span("plan_lookup", kind="cache") as sp:
+            key = (epoch, self._curve, rect, policy)
+            plan = self._plan_cache.get(key)
+            sp.set("hit", plan is not None)
+            if plan is None:
+                plan = planner.plan(rect, policy, layout=layout)
+                self._plan_cache.put(key, plan)
         return plan
 
     def plan(

@@ -31,6 +31,18 @@ Commands::
     recover --path DIR [--verify]         replay a durable store from its
                                           WAL + last checkpoint and report
                                           what was recovered
+    metrics --count N [--json]            replay a workload with metrics
+                                          enabled, print the registry in
+                                          Prometheus text (or JSON)
+    trace  [--rect …|--knn CELL] [--stream] [--format tree|json|chrome]
+           [--out FILE]                   run one query under per-query
+                                          tracing: span tree with seek/
+                                          page/over-read attribution
+    events --queries N [--limit N]        run an adaptive demo and tail
+                                          the unified observability
+                                          event stream
+    explain … --trace                     EXPLAIN + execute the query
+                                          under tracing
     experiments …                         the experiment harness
                                           (see ``python -m repro.experiments``)
     lint [--rules …] [--no-baseline] [--ratchet]
@@ -47,7 +59,7 @@ from typing import List
 
 import numpy as np
 
-from .adaptive import DriftDetector, OnlineMigrator, WorkloadRecorder
+from .adaptive import AdaptiveController, DriftDetector, OnlineMigrator, WorkloadRecorder
 from .api import Query
 from .core.clustering import clustering_number
 from .core.queries import random_cubes
@@ -58,6 +70,7 @@ from .experiments.cli import main as experiments_main
 from .experiments.report import format_table
 from .geometry import Rect
 from .index import SFCIndex, ShardedSFCIndex, advise
+from .obs import EVENTS, METRICS, enable_metrics, start_trace
 from .visualize import render_clusters, render_keys, render_path
 
 __all__ = ["main"]
@@ -215,6 +228,11 @@ def main(argv: List[str] = None) -> int:
     _add_index_args(explain_p)
     explain_p.add_argument("--lo", type=_parse_cell, required=True)
     explain_p.add_argument("--hi", type=_parse_cell, required=True)
+    explain_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="execute the query under per-query tracing and print the span tree",
+    )
 
     query_p = sub.add_parser(
         "query",
@@ -322,6 +340,64 @@ def main(argv: List[str] = None) -> int:
         help="scan the recovered store's full universe and cross-check counts",
     )
 
+    metrics_p = sub.add_parser(
+        "metrics", help="replay a workload with metrics enabled, print the registry"
+    )
+    _add_curve_args(metrics_p)
+    _add_index_args(metrics_p)
+    metrics_p.add_argument(
+        "--count", type=int, default=50, help="random cube queries to replay"
+    )
+    metrics_p.add_argument(
+        "--json",
+        action="store_true",
+        help="JSON snapshot instead of Prometheus text exposition",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="run one query under per-query tracing, print the span tree"
+    )
+    _add_curve_args(trace_p)
+    _add_index_args(trace_p)
+    trace_p.add_argument(
+        "--rect",
+        action="append",
+        type=_parse_rect,
+        default=[],
+        metavar="LO:HI",
+        help="rect as lo:hi cells; repeat for a union "
+        "(default: one centred box of side//2)",
+    )
+    trace_p.add_argument(
+        "--knn", type=_parse_cell, metavar="CELL", help="trace a kNN search instead"
+    )
+    trace_p.add_argument("--k", type=int, default=5, help="neighbours for --knn")
+    trace_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="drain through a streaming Cursor instead of materializing",
+    )
+    trace_p.add_argument(
+        "--format",
+        choices=("tree", "json", "chrome"),
+        default="tree",
+        help="tree: human-readable; json: Trace.to_dict; "
+        "chrome: chrome://tracing / Perfetto trace-event file",
+    )
+    trace_p.add_argument(
+        "--out", default=None, metavar="FILE", help="write the trace to FILE"
+    )
+
+    events_p = sub.add_parser(
+        "events", help="run an adaptive demo, tail the unified event stream"
+    )
+    _add_curve_args(events_p)
+    _add_index_args(events_p)
+    events_p.add_argument(
+        "--queries", type=int, default=40, help="row-scan queries to replay"
+    )
+    events_p.add_argument("--limit", type=int, default=20, help="events to show")
+
     args = parser.parse_args(argv)
 
     if args.command == "curves":
@@ -416,11 +492,101 @@ def main(argv: List[str] = None) -> int:
         rect = Rect(args.lo, args.hi)
         print(f"{len(index)} random points indexed (seed {args.seed})")
         print(index.explain(rect, gap_tolerance=args.gap))
-        seeks, cost, result = _replay_workload(index, [rect], args.gap)
+        if args.trace:
+            with start_trace("explain") as trace:
+                seeks, cost, result = _replay_workload(index, [rect], args.gap)
+        else:
+            trace = None
+            seeks, cost, result = _replay_workload(index, [rect], args.gap)
         print(
             f"executed: {seeks} seeks, {result.pages_read} pages, "
             f"{len(result.records)} records, {cost:.1f} sim-ms"
         )
+        if trace is not None:
+            print(trace.render())
+        return 0
+    if args.command == "metrics":
+        enable_metrics()
+        METRICS.reset()
+        index = _build_index(args)
+        length = max(1, args.side // 4)
+        rng = np.random.default_rng(args.seed + 1)
+        rects = random_cubes(args.side, args.dim, length, args.count, rng)
+        _replay_workload(index, rects, args.gap)
+        if len(index) > 0:
+            index.knn((args.side // 2,) * args.dim, min(5, len(index)))
+        if args.json:
+            print(METRICS.render_json_text())
+        else:
+            print(METRICS.render_prometheus(), end="")
+        return 0
+    if args.command == "trace":
+        index = _build_index(args)
+        with start_trace("knn" if args.knn is not None else "query") as trace:
+            if args.knn is not None:
+                index.knn(args.knn, args.k)
+            else:
+                rects = args.rect or [
+                    Rect.from_origin(
+                        (args.side // 4,) * args.dim,
+                        (max(1, args.side // 2),) * args.dim,
+                    )
+                ]
+                query = Query.union_of(rects).hint(gap_tolerance=args.gap)
+                if args.stream:
+                    with index.cursor(query) as cursor:
+                        for _ in cursor:
+                            pass
+                else:
+                    index.execute(query)
+        if args.format == "json":
+            rendered = trace.to_json()
+        elif args.format == "chrome":
+            rendered = trace.to_chrome_json()
+        else:
+            rendered = trace.render()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"trace written to {args.out}")
+        else:
+            print(rendered)
+        return 0
+    if args.command == "events":
+        EVENTS.clear()
+        recorder = WorkloadRecorder()
+        index = _build_index(args, recorder=recorder)
+        rng = np.random.default_rng(args.seed + 1)
+        # A row-scan workload the onion default is poor at, so the demo
+        # exercises the full observe -> detect -> migrate loop.
+        shape = (args.side,) + (1,) * (args.dim - 1)
+        rects = [
+            Rect.from_origin(
+                [int(rng.integers(0, args.side - length + 1)) for length in shape],
+                shape,
+            )
+            for _ in range(args.queries)
+        ]
+        _replay_workload(index, rects, args.gap)
+        candidates = [
+            make_curve(name, args.side, args.dim)
+            for name in ("onion", "hilbert", "rowmajor")
+        ]
+        controller = AdaptiveController(
+            index,
+            candidates,
+            detector=DriftDetector(candidates, min_observations=1, check_interval=1),
+        )
+        controller.check_now()
+        _replay_workload(index, rects, args.gap)
+        controller.check_now()
+        events = EVENTS.tail(args.limit)
+        print(
+            f"{len(events)} event(s) shown of {EVENTS.total_emitted} emitted "
+            f"({EVENTS.drops} dropped by the bounded stream)"
+        )
+        for event in events:
+            print(event.render())
         return 0
     if args.command == "query":
         index = _build_index(args)

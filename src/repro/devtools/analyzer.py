@@ -35,6 +35,7 @@ ALL_RULES: Tuple[str, ...] = (
     "epoch-bump",
     "notify-once",
     "mutable-default",
+    "span-balance",
     "curve-matrix-gap",
 )
 
@@ -90,6 +91,7 @@ def lint_tree(
         report.extend(invariants.check_epoch_bumps(tree, rel))
         report.extend(invariants.check_notify_once(tree, rel))
         report.extend(invariants.check_mutable_defaults(tree, rel))
+        report.extend(invariants.check_span_balance(tree, rel))
     report.extend(lock_lint.finalize())
 
     # The matrix rule is repo-level: run it against explicit paths, or

@@ -39,6 +39,7 @@ TRACKED_PACKAGES: Dict[str, str] = {
     "repro.index": "index",
     "repro.adaptive": "adaptive",
     "repro.storage": "storage",
+    "repro.obs": "obs",
 }
 
 _MYPY_FLAGS = (

@@ -22,9 +22,17 @@ from typing import Hashable, Optional, Tuple
 from ..errors import StorageError
 from ..geometry import Rect
 from ..curves.base import SpaceFillingCurve
+from ..obs.metrics import METRICS
 from .plan import ExecutionPolicy, QueryPlan
 
 __all__ = ["PlanCache", "PlanCacheStats", "PlanKey"]
+
+_HITS = METRICS.counter("repro_plan_cache_hits_total", "plan-cache probes served from cache")
+_MISSES = METRICS.counter("repro_plan_cache_misses_total", "plan-cache probes that missed")
+_EVICTIONS = METRICS.counter("repro_plan_cache_evictions_total", "LRU evictions of cached plans")
+_INVALIDATIONS = METRICS.counter(
+    "repro_plan_cache_invalidations_total", "whole-cache invalidations (layout changed)"
+)
 
 PlanKey = Tuple[SpaceFillingCurve, Rect, ExecutionPolicy]
 
@@ -73,23 +81,37 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is None:
                 self.stats.misses += 1
-                return None
-            self._plans.move_to_end(key)
-            self.stats.hits += 1
-            return plan
+            else:
+                self._plans.move_to_end(key)
+                self.stats.hits += 1
+        # Metric increments happen outside the cache lock: telemetry
+        # must never extend the hot probe's critical section.
+        if plan is None:
+            _MISSES.inc()
+            return None
+        _HITS.inc()
+        return plan
 
     def put(self, key: PlanKey, plan: QueryPlan) -> None:
         """Cache ``plan`` under ``key``, evicting the LRU entry when full."""
+        evicted = False
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             if len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
+                evicted = True
+        if evicted:
+            _EVICTIONS.inc()
 
     def invalidate(self) -> None:
         """Drop every cached plan (the page layout changed)."""
+        invalidated = False
         with self._lock:
             if self._plans:
                 self.stats.invalidations += 1
+                invalidated = True
             self._plans.clear()
+        if invalidated:
+            _INVALIDATIONS.inc()

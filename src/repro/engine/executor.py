@@ -15,10 +15,14 @@ same trick as elevator scheduling — and reports aggregate I/O as a
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry import Cell
+from ..obs.metrics import METRICS
+from ..obs.trace import open_span as _obs_open_span
+from ..obs.trace import span as _obs_span
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 from .cost import DEFAULT_COST_MODEL, CostModel
@@ -35,6 +39,31 @@ __all__ = [
     "resolved_spans",
     "scan_page",
 ]
+
+
+_QUERIES = METRICS.counter("repro_executor_queries_total", "plan executions (any mode)")
+_QUERY_LATENCY = METRICS.histogram(
+    "repro_query_latency_seconds", "wall time of one plan execution or drained stream"
+)
+_QUERY_RECORDS = METRICS.counter("repro_query_records_total", "records returned by executions")
+_QUERY_OVER_READ = METRICS.counter(
+    "repro_query_over_read_total", "records scanned but discarded in tolerated gaps"
+)
+
+
+def _observe_execution(started: float, records: int, over_read: int) -> None:
+    """Per-execution counters + latency (no-ops while metrics are off).
+
+    Zero amounts are skipped at the call site: ``inc(0)`` leaves the
+    counter unchanged but still pays the locked slow path, and most
+    executions over-read nothing.
+    """
+    _QUERIES.inc()
+    if records:
+        _QUERY_RECORDS.inc(records)
+    if over_read:
+        _QUERY_OVER_READ.inc(over_read)
+    _QUERY_LATENCY.observe(time.perf_counter() - started)
 
 
 @dataclass(frozen=True)
@@ -216,6 +245,12 @@ class PlanStream:
             if last >= first
         )
         self._pages_pulled = 0
+        # The stream's io span floats: it outlives this constructor's
+        # scope (the generator suspends across yields), so it is ended
+        # by _finalize — the same exactly-once funnel as the recorder
+        # notification (span-balance lint rule).
+        self._span = _obs_open_span("stream", kind="io")
+        self._started = time.perf_counter() if METRICS.enabled else 0.0
         self._gen = self._run()
 
     # ------------------------------------------------------------------
@@ -313,6 +348,20 @@ class PlanStream:
         if self._recorded:
             return
         self._recorded = True
+        span = self._span
+        span.set("seeks", self._seeks)
+        span.set("sequential_reads", self._sequential)
+        span.set("pages", self._seeks + self._sequential)
+        span.set("over_read", self._over_read)
+        span.set("records", self._records)
+        span.set("drained", self.drained)
+        if self._pool_in_path:
+            span.set("pool_misses", self._cold)
+        span.end()
+        # self._started is 0.0 when metrics were off at construction;
+        # skip the observation rather than record a bogus latency.
+        if METRICS.enabled and self._started:
+            _observe_execution(self._started, self._records, self._over_read)
         if self._recorder is not None:
             self._recorder.record_executed(
                 tuple(self._plan.rect.lengths),
@@ -410,23 +459,38 @@ class Executor:
         rect = plan.rect
         spans = resolved_spans(plan, layout)
         stats = self._disk.stats
+        started = time.perf_counter() if METRICS.enabled else 0.0
         seeks_before = stats.seeks
         seq_before = stats.sequential_reads
         misses_before = self._pool.stats.misses if self._pool_in_path else 0
         reader = self._reader
         records: List[Record] = []
         over_read = 0
-        for (start, end), (first, last) in zip(plan.scan_runs, spans):
-            for position in range(first, last + 1):
-                page = read_page(reader, layout.page_ids[position], _page_cache)
-                over_read += scan_page(page, start, end, rect, records)
-        result = RangeQueryResult(
-            records=records,
-            runs=len(plan.scan_runs),
-            seeks=stats.seeks - seeks_before,
-            sequential_reads=stats.sequential_reads - seq_before,
-            over_read=over_read,
-        )
+        # Exactly one kind="io" span per execution: Trace.io_totals sums
+        # these, and the differential suite holds the sum equal to the
+        # untraced result.
+        with _obs_span("execute", kind="io") as sp:
+            for (start, end), (first, last) in zip(plan.scan_runs, spans):
+                for position in range(first, last + 1):
+                    page = read_page(reader, layout.page_ids[position], _page_cache)
+                    over_read += scan_page(page, start, end, rect, records)
+            result = RangeQueryResult(
+                records=records,
+                runs=len(plan.scan_runs),
+                seeks=stats.seeks - seeks_before,
+                sequential_reads=stats.sequential_reads - seq_before,
+                over_read=over_read,
+            )
+            sp.set("seeks", result.seeks)
+            sp.set("sequential_reads", result.sequential_reads)
+            sp.set("pages", result.pages_read)
+            sp.set("over_read", over_read)
+            sp.set("records", len(records))
+            sp.set("runs", len(plan.scan_runs))
+            if self._pool_in_path:
+                sp.set("pool_misses", self._pool.stats.misses - misses_before)
+        if METRICS.enabled:
+            _observe_execution(started, len(records), over_read)
         if self._recorder is not None:
             self._recorder.record_executed(
                 plan.rect.lengths,
@@ -480,12 +544,16 @@ class Executor:
         results: List[Optional[RangeQueryResult]] = [None] * len(plans)
         page_cache: dict = {}
         total_seeks = total_sequential = total_over = 0
-        for i in order:
-            result = self.execute(plans[i], _page_cache=page_cache)
-            results[i] = result
-            total_seeks += result.seeks
-            total_sequential += result.sequential_reads
-            total_over += result.over_read
+        with _obs_span("execute_batch", kind="batch") as sp:
+            for i in order:
+                result = self.execute(plans[i], _page_cache=page_cache)
+                results[i] = result
+                total_seeks += result.seeks
+                total_sequential += result.sequential_reads
+                total_over += result.over_read
+            sp.set("queries", len(plans))
+            sp.set("seeks", total_seeks)
+            sp.set("sequential_reads", total_sequential)
         return BatchResult(
             results=results,  # type: ignore[arg-type]
             executed_order=tuple(order),

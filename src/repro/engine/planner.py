@@ -27,11 +27,14 @@ planned.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.runs import merge_runs_with_gaps, query_runs, query_runs_vectorized
 from ..core.sweep import sweep_average_clustering
 from ..curves.base import SpaceFillingCurve
+from ..obs.metrics import METRICS
+from ..obs.trace import span as _obs_span
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .plan import ExecutionPolicy, KeyRun, PageLayout, QueryPlan
 from ..geometry import Rect
@@ -42,6 +45,11 @@ __all__ = [
     "VECTORIZE_SURFACE_RATIO",
     "VECTORIZE_PREFIX_VOLUME_MAX",
 ]
+
+_PLANS = METRICS.counter("repro_planner_plans_total", "range-query plans produced")
+_PLAN_LATENCY = METRICS.histogram(
+    "repro_plan_latency_seconds", "wall time of Planner.plan"
+)
 
 #: Legacy fixed crossover: pass ``vectorize_volume_max`` explicitly to
 #: restore a pure volume cap (0 disables the vectorized path).
@@ -196,26 +204,34 @@ class Planner:
         back to the paper's pure model (one seek per scan run).
         """
         rect.check_fits(self._curve.side)
-        runs = self.key_runs(rect)
-        scan_runs = (
-            merge_runs_with_gaps(runs, policy.gap_tolerance)
-            if policy.gap_tolerance
-            else runs
-        )
-        page_spans = (
-            tuple(layout.span(start, end) for start, end in scan_runs)
-            if layout is not None
-            else None
-        )
-        plan = QueryPlan(
-            curve=self._curve,
-            rect=rect,
-            policy=policy,
-            runs=tuple(runs),
-            scan_runs=tuple(scan_runs),
-            page_spans=page_spans,
-            cost_model=self._cost_model,
-        )
+        with _obs_span("plan", kind="plan") as sp:
+            started = time.perf_counter() if METRICS.enabled else 0.0
+            runs = self.key_runs(rect)
+            scan_runs = (
+                merge_runs_with_gaps(runs, policy.gap_tolerance)
+                if policy.gap_tolerance
+                else runs
+            )
+            page_spans = (
+                tuple(layout.span(start, end) for start, end in scan_runs)
+                if layout is not None
+                else None
+            )
+            plan = QueryPlan(
+                curve=self._curve,
+                rect=rect,
+                policy=policy,
+                runs=tuple(runs),
+                scan_runs=tuple(scan_runs),
+                page_spans=page_spans,
+                cost_model=self._cost_model,
+            )
+            sp.set("curve", self._curve.name)
+            sp.set("runs", len(runs))
+            sp.set("scan_runs", len(scan_runs))
+            if METRICS.enabled:
+                _PLANS.inc()
+                _PLAN_LATENCY.observe(time.perf_counter() - started)
         if self._recorder is not None:
             self._recorder.record_planned(plan)
         return plan

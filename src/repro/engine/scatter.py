@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -49,6 +50,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..curves.base import SpaceFillingCurve
 from ..errors import InvalidQueryError
 from ..geometry import Rect
+from ..obs.metrics import METRICS
+from ..obs.trace import span as _obs_span
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk, replay_reads
 from .cost import DEFAULT_COST_MODEL, CostModel
@@ -57,6 +60,7 @@ from .executor import (
     PlanStream,
     RangeQueryResult,
     Record,
+    _observe_execution,
     execution_order,
     read_page,
     resolved_spans,
@@ -119,32 +123,35 @@ def scatter_plan(
     are taken from its ``scan_runs``), so a tolerated gap spanning a
     shard boundary behaves exactly as it would unsharded.
     """
-    fragments = []
-    for shard_id, shard in enumerate(shards):
-        scan_runs = clip_runs(plan.scan_runs, shard)
-        if not scan_runs:
-            continue
-        runs = clip_runs(plan.runs, shard)
-        page_spans = (
-            tuple(layout.span(start, end) for start, end in scan_runs)
-            if layout is not None
-            else None
-        )
-        fragments.append(
-            ShardFragment(
-                shard_id=shard_id,
-                shard=shard,
-                plan=QueryPlan(
-                    curve=plan.curve,
-                    rect=plan.rect,
-                    policy=plan.policy,
-                    runs=tuple(runs),
-                    scan_runs=tuple(scan_runs),
-                    page_spans=page_spans,
-                    cost_model=plan.cost_model,
-                ),
+    with _obs_span("scatter", kind="plan") as sp:
+        fragments = []
+        for shard_id, shard in enumerate(shards):
+            scan_runs = clip_runs(plan.scan_runs, shard)
+            if not scan_runs:
+                continue
+            runs = clip_runs(plan.runs, shard)
+            page_spans = (
+                tuple(layout.span(start, end) for start, end in scan_runs)
+                if layout is not None
+                else None
             )
-        )
+            fragments.append(
+                ShardFragment(
+                    shard_id=shard_id,
+                    shard=shard,
+                    plan=QueryPlan(
+                        curve=plan.curve,
+                        rect=plan.rect,
+                        policy=plan.policy,
+                        runs=tuple(runs),
+                        scan_runs=tuple(scan_runs),
+                        page_spans=page_spans,
+                        cost_model=plan.cost_model,
+                    ),
+                )
+            )
+        sp.set("shards", len(shards))
+        sp.set("fragments", len(fragments))
     return ShardedPlan(
         plan=plan,
         fragments=tuple(fragments),
@@ -709,29 +716,50 @@ class ScatterGatherExecutor:
         page positions (aligned with ``splan.fragments``) so the batch
         path can replay per-shard streams without re-walking the spans.
         """
-        pages, seeks, sequential, cold = self._charge_reads(splan.plan, _page_cache)
-        filtered = self._scatter(splan, pages)
-        records: List[Record] = []
-        over_read = 0
-        per_shard = []
-        for fragment, (shard_records, shard_over, positions) in zip(
-            splan.fragments, filtered
-        ):
-            records.extend(shard_records)
-            over_read += shard_over
-            if _positions_out is not None:
-                _positions_out.append(positions)
-            frag_seeks, frag_seq = fragment.plan._predicted_reads
-            per_shard.append(
-                ShardStats(
-                    shard_id=fragment.shard_id,
-                    runs=fragment.plan.num_scan_runs,
-                    seeks=frag_seeks,
-                    sequential_reads=frag_seq,
-                    records=len(shard_records),
-                    over_read=shard_over,
+        started = time.perf_counter() if METRICS.enabled else 0.0
+        # One canonical kind="io" span for the gather-side charge; the
+        # per-fragment children use kind="shard" — a second accounting
+        # of the same pages, excluded from Trace.io_totals exactly like
+        # ShardStats is excluded from the serial totals.
+        with _obs_span("scatter_execute", kind="io") as sp:
+            pages, seeks, sequential, cold = self._charge_reads(splan.plan, _page_cache)
+            filtered = self._scatter(splan, pages)
+            records: List[Record] = []
+            over_read = 0
+            per_shard = []
+            for fragment, (shard_records, shard_over, positions) in zip(
+                splan.fragments, filtered
+            ):
+                records.extend(shard_records)
+                over_read += shard_over
+                if _positions_out is not None:
+                    _positions_out.append(positions)
+                frag_seeks, frag_seq = fragment.plan._predicted_reads
+                per_shard.append(
+                    ShardStats(
+                        shard_id=fragment.shard_id,
+                        runs=fragment.plan.num_scan_runs,
+                        seeks=frag_seeks,
+                        sequential_reads=frag_seq,
+                        records=len(shard_records),
+                        over_read=shard_over,
+                    )
                 )
-            )
+                with _obs_span(f"shard[{fragment.shard_id}]", kind="shard") as fsp:
+                    fsp.set("seeks", frag_seeks)
+                    fsp.set("sequential_reads", frag_seq)
+                    fsp.set("records", len(shard_records))
+                    fsp.set("over_read", shard_over)
+            sp.set("seeks", seeks)
+            sp.set("sequential_reads", sequential)
+            sp.set("pages", seeks + sequential)
+            sp.set("over_read", over_read)
+            sp.set("records", len(records))
+            sp.set("fan_out", len(splan.fragments))
+            if cold is not None:
+                sp.set("pool_misses", cold)
+        if METRICS.enabled:
+            _observe_execution(started, len(records), over_read)
         if self._recorder is not None:
             self._recorder.record_executed(
                 splan.plan.rect.lengths,

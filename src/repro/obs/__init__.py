@@ -1,0 +1,71 @@
+"""``repro.obs`` — unified tracing, metrics, and live introspection.
+
+Three planes, one package, wired through every layer of the serving
+stack (planner, plan cache, executors, streams, buffer pool, simulated
+disk, WAL, checkpointer, migrator, adaptive controller):
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and log2-bucket histograms (p50/p99/p999) with
+  Prometheus-text and JSON exposition.  Disabled by default: every hot
+  path pays exactly one flag check until :func:`enable_metrics` turns
+  collection on, so production accounting stays near-zero-cost when
+  off (``benchmarks/test_bench_obs.py`` proves the bound).
+* :mod:`repro.obs.trace` — per-query tracing: a :class:`Trace` of
+  nested :class:`Span` objects covering plan → cache probe → scatter →
+  execute/stream → WAL → checkpoint → migration batches, each span
+  carrying the existing seek/page/over-read attribution plus wall
+  time, exportable as JSON and Chrome trace-event format.  With no
+  active trace, instrumentation sees the :data:`NULL_SPAN` singleton
+  and does nothing.
+* :mod:`repro.obs.events` — the unified :class:`EventStream` of
+  control-plane decisions (adaptation checks, migrations, checkpoints,
+  recoveries), bounded with an explicit drop counter so wrapped
+  entries are never lost silently.
+
+The package deliberately imports nothing from the engine/storage
+layers, so any module may import it without cycles.
+"""
+
+from .events import EVENTS, Event, EventStream
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    current_span,
+    current_trace,
+    open_span,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "EVENTS",
+    "Event",
+    "EventStream",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "current_span",
+    "current_trace",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics_enabled",
+    "open_span",
+    "span",
+    "start_trace",
+]

@@ -1,0 +1,112 @@
+"""The unified control-plane event stream.
+
+One bounded, process-wide stream (:data:`EVENTS`) that every
+control-plane actor emits into: adaptation checks and migrations
+(:class:`~repro.adaptive.controller.AdaptiveController`), checkpoints,
+WAL rotations, recoveries.  Unlike the controller's original private
+deque, eviction here is **never silent**: when the ring wraps, the
+stream counts the drop (``drops`` property and the
+``repro_obs_events_dropped_total`` counter) so an operator tailing
+``repro events`` knows decisions are missing rather than absent.
+
+Events are cheap plain records (monotone sequence number, wall-clock
+timestamp, kind, message, structured data), emitted unconditionally —
+control-plane events are rare (per-decision, not per-page), so there
+is no disabled fast path to pay for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List
+
+from .metrics import METRICS
+
+__all__ = ["EVENTS", "Event", "EventStream"]
+
+_EVENTS_DROPPED = METRICS.counter(
+    "repro_obs_events_dropped_total",
+    "events evicted from the bounded unified stream before being read",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One control-plane event in the unified stream."""
+
+    seq: int
+    wall_time: float
+    kind: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = ""
+        if self.data:
+            parts = [f"{k}={self.data[k]}" for k in sorted(self.data)]
+            extras = "  [" + " ".join(parts) + "]"
+        return f"#{self.seq} [{self.kind}] {self.message}{extras}"
+
+
+class EventStream:
+    """Bounded event ring with an explicit drop counter."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._events: Deque[Event] = deque(maxlen=capacity)  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._drops = 0  # guarded-by: _lock
+
+    def emit(self, kind: str, message: str, **data: Any) -> Event:
+        """Append an event; count (never hide) an eviction of the oldest."""
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, time.time(), kind, message, dict(data))
+            if len(self._events) == self._capacity:
+                self._drops += 1
+                dropped = True
+            else:
+                dropped = False
+            self._events.append(event)
+        if dropped:
+            _EVENTS_DROPPED.inc()
+        return event
+
+    def tail(self, limit: int = 20) -> List[Event]:
+        """The most recent ``limit`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        if limit >= 0:
+            events = events[-limit:] if limit else []
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def drops(self) -> int:
+        """Events evicted from the ring since construction/clear."""
+        with self._lock:
+            return self._drops
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._drops = 0
+            self._seq = 0
+
+
+#: The process-wide unified stream the CLI (`repro events`) tails.
+EVENTS = EventStream(capacity=1024)

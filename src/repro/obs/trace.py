@@ -1,0 +1,349 @@
+"""Per-query tracing: nested spans with I/O attribution and wall time.
+
+A :class:`Trace` is installed on the *current thread* with
+:func:`start_trace`; while it is active, instrumented code opens
+:class:`Span` objects three ways:
+
+* ``with span("plan", kind="plan") as s:`` — the workhorse.  Pushes
+  onto the thread's span stack so nested instrumentation parents
+  correctly, pops and ends on exit (exceptional or not).
+* ``open_span("stream", kind="io")`` — a *floating* span for scopes
+  that outlive a ``with`` block, e.g. a :class:`PlanStream` that
+  suspends across ``yield``.  It is parented under the current span at
+  creation but **not** pushed on the stack; the owner must call
+  :meth:`Span.end` from its finalizer.  ``Span.end`` is idempotent, so
+  the drain-then-close path ends the span exactly once — mirroring the
+  cursor notify-exactly-once invariant (CONTRIBUTING invariant 10; the
+  ``span-balance`` lint rule enforces the finalizer discipline).
+* With **no active trace**, both forms hand back :data:`NULL_SPAN`, a
+  shared do-nothing span, so instrumentation costs one thread-local
+  read and a branch.
+
+Spans carry ``attrs`` — the existing seek/page/over-read attribution
+plus anything else useful — and wall time from
+:func:`time.perf_counter`.  Exactly one span of ``kind="io"`` is
+opened per plan execution (``Executor.execute``, a drained
+``PlanStream``, or ``ScatterGatherExecutor.execute``), so
+:meth:`Trace.io_totals` sums to the untraced result's cost exactly;
+per-fragment spans use ``kind="shard"`` and are excluded from the
+canonical sums (shard-transparency: the gather-side totals are the
+ground truth).
+
+Exports: :meth:`Trace.to_dict` (JSON) and :meth:`Trace.to_chrome`
+(Chrome trace-event format — load in ``chrome://tracing`` or Perfetto).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "current_span",
+    "current_trace",
+    "open_span",
+    "span",
+    "start_trace",
+]
+
+_TLS = threading.local()
+
+
+class Span:
+    """One timed, attributed scope inside a :class:`Trace`."""
+
+    __slots__ = ("name", "kind", "trace", "parent", "children", "attrs", "start", "_end")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        trace: Optional["Trace"],
+        parent: Optional["Span"],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.trace = trace
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.attrs: Dict[str, Any] = {}
+        self.start = time.perf_counter()
+        self._end: Optional[float] = None
+
+    # -- attribution -------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add(self, key: str, amount: float = 1) -> None:
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    # -- lifecycle ---------------------------------------------------------
+    def end(self) -> None:
+        """Stamp the end time. Idempotent: the first call wins."""
+        if self._end is None:
+            self._end = time.perf_counter()
+
+    @property
+    def ended(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to *now* for a live span)."""
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self.start
+
+    # -- traversal / export ------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "duration_s": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, kind={self.kind!r}, attrs={self.attrs!r})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when no trace is active.
+
+    Mirrors the :class:`Span` surface so instrumentation never branches
+    on "am I traced?" beyond the initial lookup.
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    kind = "null"
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    ended = True
+    duration = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, key: str, amount: float = 1) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """A tree of spans for one traced operation (usually one query)."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.start = time.perf_counter()
+        self.spans: List[Span] = []  # top-level spans, in creation order
+
+    # -- span creation (used via module functions below) -------------------
+    def _new_span(self, name: str, kind: str, parent: Optional[Span]) -> Span:
+        new = Span(name, kind, self, parent)
+        if parent is None:
+            self.spans.append(new)
+        else:
+            parent.children.append(new)
+        return new
+
+    # -- traversal ---------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        for top in self.spans:
+            yield from top.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.walk() if s.name == name]
+
+    # -- attribution sums --------------------------------------------------
+    def io_totals(self) -> Dict[str, int]:
+        """Sum seek/page/over-read attribution over ``kind="io"`` spans.
+
+        Exactly one io span exists per plan execution, so for a fully
+        drained traced query these totals equal the untraced result's
+        cost fields exactly (the differential acceptance test in
+        ``tests/obs`` holds this across curves × shards × modes).
+        """
+        totals = {"seeks": 0, "sequential_reads": 0, "pages": 0, "over_read": 0, "records": 0}
+        for s in self.walk():
+            # Per-shard breakdowns (kind="shard") are double-counted
+            # views of their gather-side io span; only "io" is canonical.
+            if s.kind != "io":
+                continue
+            for key in totals:
+                value = s.attrs.get(key)
+                if value is not None:
+                    totals[key] += int(value)
+        return totals
+
+    # -- export ------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "spans": [s.to_dict() for s in self.spans],
+            "io_totals": self.io_totals(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_chrome(self) -> List[Dict[str, Any]]:
+        """Chrome trace-event list (``ph="X"`` complete events, µs)."""
+        events: List[Dict[str, Any]] = []
+        for s in self.walk():
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.kind,
+                    "ph": "X",
+                    "ts": (s.start - self.start) * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(s.attrs),
+                }
+            )
+        return events
+
+    def to_chrome_json(self, indent: int = 2) -> str:
+        return json.dumps({"traceEvents": self.to_chrome()}, indent=indent)
+
+    def render(self) -> str:
+        """Human-readable indented span tree with durations and attrs."""
+        lines: List[str] = [f"trace {self.name}"]
+
+        def emit(s: Span, depth: int) -> None:
+            pad = "  " * (depth + 1)
+            attrs = ""
+            if s.attrs:
+                parts = [f"{k}={s.attrs[k]}" for k in sorted(s.attrs)]
+                attrs = "  [" + " ".join(parts) + "]"
+            lines.append(f"{pad}{s.name} ({s.kind}) {s.duration * 1e3:.3f}ms{attrs}")
+            for child in s.children:
+                emit(child, depth + 1)
+
+        for top in self.spans:
+            emit(top, 0)
+        totals = self.io_totals()
+        lines.append(
+            "  io totals: seeks={seeks} sequential={sequential_reads} "
+            "pages={pages} over_read={over_read} records={records}".format(**totals)
+        )
+        return "\n".join(lines)
+
+
+class _TraceContext:
+    """Context manager from :func:`start_trace`: installs/uninstalls TLS."""
+
+    __slots__ = ("trace", "_previous", "_previous_stack")
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._previous: Optional[Trace] = None
+        self._previous_stack: List[Span] = []
+
+    def __enter__(self) -> Trace:
+        self._previous = getattr(_TLS, "trace", None)
+        self._previous_stack = getattr(_TLS, "stack", [])
+        _TLS.trace = self.trace
+        _TLS.stack = []
+        return self.trace
+
+    def __exit__(self, *exc: object) -> None:
+        # End anything left open (an exception unwound past its owner).
+        for dangling in reversed(getattr(_TLS, "stack", [])):
+            dangling.end()
+        _TLS.trace = self._previous
+        _TLS.stack = self._previous_stack
+
+
+class _SpanContext:
+    """Context manager from :func:`span`: push on enter, end+pop on exit."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, new_span: Span) -> None:
+        self._span = new_span
+
+    def __enter__(self) -> Span:
+        _TLS.stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        self._span.end()
+        stack: List[Span] = _TLS.stack
+        # Pop our span specifically: a misbehaving child that failed to
+        # pop must not cause us to end the wrong span.
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        elif self._span in stack:
+            stack.remove(self._span)
+
+
+def start_trace(name: str = "trace") -> _TraceContext:
+    """``with start_trace("query") as t:`` — trace this thread's work."""
+    return _TraceContext(Trace(name))
+
+
+def current_trace() -> Optional[Trace]:
+    return getattr(_TLS, "trace", None)
+
+
+def current_span() -> Optional[Span]:
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        top: Span = stack[-1]
+        return top
+    return None
+
+
+def span(name: str, kind: str = "span") -> Any:
+    """Open a nested span on the current thread's trace.
+
+    Returns a context manager yielding the :class:`Span` — or
+    :data:`NULL_SPAN` (its own no-op context manager) when no trace is
+    active, which is the hot-path fast exit.
+    """
+    trace = getattr(_TLS, "trace", None)
+    if trace is None:
+        return NULL_SPAN
+    return _SpanContext(trace._new_span(name, kind, current_span()))
+
+
+def open_span(name: str, kind: str = "span") -> Any:
+    """Open a *floating* span: parented under the current span, not
+    pushed on the stack.  The owner must arrange ``.end()`` from a
+    finalizer (see the ``span-balance`` lint rule); ``end`` is
+    idempotent so belt-and-braces finalization is safe.
+
+    Returns :data:`NULL_SPAN` when no trace is active.
+    """
+    trace = getattr(_TLS, "trace", None)
+    if trace is None:
+        return NULL_SPAN
+    return trace._new_span(name, kind, current_span())

@@ -13,9 +13,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import StorageError
+from ..obs.metrics import METRICS
 from .disk import SimulatedDisk
 
 __all__ = ["BufferPool", "BufferStats"]
+
+_HITS = METRICS.counter("repro_buffer_pool_hits_total", "page requests served from memory")
+_MISSES = METRICS.counter("repro_buffer_pool_misses_total", "page requests that reached the disk")
+_EVICTIONS = METRICS.counter("repro_buffer_pool_evictions_total", "LRU evictions from the pool")
 
 
 @dataclass
@@ -55,13 +60,16 @@ class BufferPool:
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
             self.stats.hits += 1
+            _HITS.inc()
             return self._pages[page_id]
         payload = self.disk.read(page_id)
         self.stats.misses += 1
+        _MISSES.inc()
         self._pages[page_id] = payload
         if len(self._pages) > self.capacity:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
+            _EVICTIONS.inc()
         return payload
 
     def invalidate(self) -> None:

@@ -20,8 +20,17 @@ from typing import Iterable, Set, Tuple
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import PageError
+from ..obs.metrics import METRICS
 
 __all__ = ["DiskStats", "SimulatedDisk", "PARKED_HEAD", "replay_reads"]
+
+# Bound once at import: the disabled-path cost per read is one flag
+# check inside Counter.inc (see benchmarks/test_bench_obs.py).
+_SEEKS = METRICS.counter("repro_disk_seeks_total", "page reads that moved the disk head")
+_SEQUENTIAL = METRICS.counter(
+    "repro_disk_sequential_reads_total", "page reads that followed the previous page"
+)
+_WRITES = METRICS.counter("repro_disk_pages_written_total", "pages allocated or overwritten")
 
 #: Head position whose successor is *not* sequential: a parked head.
 PARKED_HEAD = -2
@@ -90,6 +99,7 @@ class SimulatedDisk:
         """Store ``payload`` in a fresh page and return its page id."""
         self._pages.append(payload)
         self.stats.pages_written += 1
+        _WRITES.inc()
         return len(self._pages) - 1
 
     def write(self, page_id: int, payload) -> None:
@@ -97,6 +107,7 @@ class SimulatedDisk:
         self._check(page_id)
         self._pages[page_id] = payload
         self.stats.pages_written += 1
+        _WRITES.inc()
 
     def read(self, page_id: int):
         """Read a page, charging a seek unless it follows the previous read."""
@@ -105,8 +116,10 @@ class SimulatedDisk:
             raise PageError(f"page {page_id} was reclaimed")
         if page_id == self._head + 1:
             self.stats.sequential_reads += 1
+            _SEQUENTIAL.inc()
         else:
             self.stats.seeks += 1
+            _SEEKS.inc()
         self._head = page_id
         return self._pages[page_id]
 

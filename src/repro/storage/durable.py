@@ -35,11 +35,15 @@ operations containing every acknowledged one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import RecoveryError, StorageError
+from ..obs.events import EVENTS
+from ..obs.metrics import METRICS
+from ..obs.trace import span as _obs_span
 from .pagefile import (
     MANIFEST_NAME,
     CheckpointManifest,
@@ -51,6 +55,12 @@ from .pagefile import (
 from .wal import FileOps, WriteAheadLog, scan_wal
 
 __all__ = ["Durability", "RecoveryReport", "recover"]
+
+_CHECKPOINTS = METRICS.counter("repro_checkpoints_total", "checkpoints committed")
+_CHECKPOINT_LATENCY = METRICS.histogram(
+    "repro_checkpoint_latency_seconds", "wall time of write_checkpoint"
+)
+_RECOVERIES = METRICS.counter("repro_recoveries_total", "durable stores rebuilt by recover()")
 
 
 @dataclass(frozen=True)
@@ -168,36 +178,51 @@ class Durability:
         """
         if self._wal is None:
             raise StorageError("durability is not initialized")
+        started = time.perf_counter()
         generation = self._generation + 1
         pages = [
             list(records[i : i + page_capacity])
             for i in range(0, len(records), page_capacity)
         ]
-        if compact:
-            wal = WriteAheadLog(
-                self._root / wal_file_name(generation), self._ops, self._sync
+        with _obs_span("checkpoint", kind="storage") as sp:
+            if compact:
+                wal = WriteAheadLog(
+                    self._root / wal_file_name(generation), self._ops, self._sync
+                )
+                wal.append(("header", state), sync=True)
+            else:
+                # Everything the manifest's offset claims durable must be
+                # on stable storage before the rename can commit it.
+                self._wal.sync()
+                wal = self._wal
+            manifest = write_checkpoint(
+                self._root,
+                self._ops,
+                generation,
+                pages,
+                state,
+                wal.path.name,
+                wal.size,
             )
-            wal.append(("header", state), sync=True)
-        else:
-            # Everything the manifest's offset claims durable must be
-            # on stable storage before the rename can commit it.
-            self._wal.sync()
-            wal = self._wal
-        manifest = write_checkpoint(
-            self._root,
-            self._ops,
-            generation,
-            pages,
-            state,
-            wal.path.name,
-            wal.size,
+            # The rename committed; retire everything it no longer names.
+            if wal is not self._wal:
+                self._wal.close()
+            self._wal = wal
+            self._generation = generation
+            self._sweep(keep_wal=wal.path.name, keep_pages=manifest.pages_file)
+            sp.set("generation", generation)
+            sp.set("records", len(records))
+            sp.set("pages", len(pages))
+            sp.set("compact", compact)
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_LATENCY.observe(time.perf_counter() - started)
+        EVENTS.emit(
+            "checkpoint",
+            f"generation {generation} committed",
+            records=len(records),
+            pages=len(pages),
+            compact=compact,
         )
-        # The rename committed; retire everything it no longer names.
-        if wal is not self._wal:
-            self._wal.close()
-        self._wal = wal
-        self._generation = generation
-        self._sweep(keep_wal=wal.path.name, keep_pages=manifest.pages_file)
         return manifest
 
     def _sweep(self, keep_wal: str, keep_pages: str) -> None:
@@ -366,4 +391,13 @@ def recover(
         ),
     )
     store._attach_durability(durability)
+    _RECOVERIES.inc()
+    EVENTS.emit(
+        "recovery",
+        f"rebuilt store from {root}",
+        generation=generation,
+        checkpoint_records=checkpoint_records,
+        frames_replayed=replayed,
+        torn_bytes=scan.torn_bytes,
+    )
     return store

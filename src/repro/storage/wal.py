@@ -36,12 +36,15 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, BinaryIO, Optional, Tuple, Union
 
 from ..errors import WalError
+from ..obs.metrics import METRICS
+from ..obs.trace import span as _obs_span
 
 __all__ = [
     "FRAME_HEADER",
@@ -56,6 +59,13 @@ __all__ = [
 
 #: ``(body_length, body_crc32)`` — both unsigned 32-bit little-endian.
 FRAME_HEADER = struct.Struct("<II")
+
+_APPENDS = METRICS.counter("repro_wal_appends_total", "operation frames appended to the WAL")
+_APPEND_BYTES = METRICS.counter("repro_wal_bytes_total", "bytes appended to the WAL")
+_FSYNCS = METRICS.counter("repro_wal_fsyncs_total", "fsync calls issued by the WAL")
+_APPEND_LATENCY = METRICS.histogram(
+    "repro_wal_append_latency_seconds", "wall time of WAL append (including any fsync)"
+)
 
 
 class FileOps:
@@ -226,18 +236,32 @@ class WriteAheadLog:
         """
         if not isinstance(op, tuple) or not op:
             raise WalError(f"WAL op must be a non-empty tuple, got {op!r}")
-        frame = encode_frame(encode_op(op))
-        handle = self._ensure_open()
-        self._ops.write(handle, frame)
-        self._size += len(frame)
-        if self._sync if sync is None else sync:
-            self._ops.fsync(handle)
+        synced = self._sync if sync is None else sync
+        with _obs_span("wal_append", kind="wal") as sp:
+            started = time.perf_counter() if METRICS.enabled else 0.0
+            frame = encode_frame(encode_op(op))
+            handle = self._ensure_open()
+            self._ops.write(handle, frame)
+            self._size += len(frame)
+            if synced:
+                self._ops.fsync(handle)
+            sp.set("op", str(op[0]))
+            sp.set("bytes", len(frame))
+            sp.set("synced", synced)
+            if METRICS.enabled:
+                _APPENDS.inc()
+                _APPEND_BYTES.inc(len(frame))
+                if synced:
+                    _FSYNCS.inc()
+                _APPEND_LATENCY.observe(time.perf_counter() - started)
         return self._size
 
     def sync(self) -> None:
         """Force every appended frame to stable storage."""
         if self._handle is not None:
-            self._ops.fsync(self._handle)
+            with _obs_span("wal_fsync", kind="wal"):
+                self._ops.fsync(self._handle)
+                _FSYNCS.inc()
 
     def close(self) -> None:
         """Close the underlying file handle (reopened lazily if needed)."""

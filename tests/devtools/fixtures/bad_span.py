@@ -1,0 +1,50 @@
+"""Fixture: floating spans that leak (span-balance).
+
+``LeakyStream`` stores an ``open_span`` on ``self`` in ``__init__`` but
+no method ever ends it — every traced stream through this class leaves
+a live span reporting a still-growing duration.  ``leaky_local`` ends
+its span on the happy path only, so a raising record leaks it; the
+disciplined form puts the ``end`` in a ``finally``.  ``discarded_span``
+drops the handle entirely — that span can never be ended by anyone.
+"""
+
+
+def open_span(name, kind="span"):
+    """Local stand-in for ``repro.obs.trace.open_span`` (fixtures are
+    parsed, never imported — the rule matches the call by name)."""
+    raise NotImplementedError
+
+
+class LeakyStream:
+    def __init__(self, pages):
+        self._span = open_span("stream", kind="io")  # BUG: never ended
+        self._pages = list(pages)
+
+    def run(self):
+        for page in self._pages:
+            yield page
+
+    def close(self):
+        self._pages = []  # forgets self._span.end()
+
+
+def leaky_local(records):
+    sp = open_span("scan")  # BUG: end() below is happy-path only
+    total = 0
+    for record in records:
+        total += record  # a raising element leaks the span
+    sp.end()
+    return total
+
+
+def disciplined_local(records):
+    sp = open_span("scan")
+    try:
+        return sum(records)
+    finally:
+        sp.end()  # balanced on every path — the rule stays silent
+
+
+def discarded_span():
+    open_span("orphan")  # BUG: result dropped; nothing can end it
+    return 1

@@ -79,6 +79,18 @@ class TestSeededFixtures:
         args = {f.key.rsplit("::", 1)[-1] for f in findings}
         assert args == {"acc", "counts", "seen", "buffer"}
 
+    def test_span_balance(self):
+        report = _lint("bad_span.py")
+        findings = [f for f in report.findings if f.rule == "span-balance"]
+        keys = {f.key.split("::", 1)[-1] for f in findings}
+        assert keys == {
+            "LeakyStream._span",  # stored span no method ends
+            "leaky_local::sp",  # happy-path end, not in a finally
+            "discarded_span::discard",  # result dropped entirely
+        }
+        # The finally-disciplined function is silent.
+        assert not any("disciplined_local" in f.key for f in findings)
+
     def test_curve_matrix_gap(self):
         base = FIXTURES / "bad_curve_matrix"
         report = lint_tree(
@@ -185,5 +197,6 @@ class TestFindingRendering:
             "epoch-bump",
             "notify-once",
             "mutable-default",
+            "span-balance",
             "curve-matrix-gap",
         }

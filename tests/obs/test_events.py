@@ -1,0 +1,173 @@
+"""Unit tests for the unified event stream and its control-plane bridges.
+
+The satellite this covers: the adaptive controller's bounded audit log
+used to evict silently once it wrapped — an operator reading
+``controller.events`` had no way to know decisions were missing.  Both
+the controller's private ring and the global :data:`repro.obs.EVENTS`
+stream now count every eviction, and every controller decision is
+bridged into the global stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.adaptive import AdaptiveController, DriftDetector, WorkloadRecorder
+from repro.curves import make_curve
+from repro.geometry import Rect
+from repro.index import SFCIndex
+from repro.obs import EVENTS
+from repro.obs.events import EventStream
+
+
+@pytest.fixture(autouse=True)
+def clean_global_stream():
+    EVENTS.clear()
+    yield
+    EVENTS.clear()
+
+
+# ---------------------------------------------------------------------------
+# EventStream mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_emit_and_tail_oldest_first():
+    stream = EventStream(capacity=8)
+    for i in range(5):
+        stream.emit("test", f"event {i}", index=i)
+    tail = stream.tail(3)
+    assert [e.message for e in tail] == ["event 2", "event 3", "event 4"]
+    assert [e.seq for e in tail] == [3, 4, 5]
+    assert stream.total_emitted == 5
+    assert stream.drops == 0
+
+
+def test_wrap_counts_drops_instead_of_hiding_them():
+    stream = EventStream(capacity=3)
+    for i in range(10):
+        stream.emit("test", f"event {i}")
+    assert len(stream) == 3
+    assert stream.drops == 7
+    assert stream.total_emitted == 10
+    # The survivors are the newest three, sequence numbers intact.
+    assert [e.seq for e in stream.tail(10)] == [8, 9, 10]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        EventStream(capacity=0)
+
+
+def test_event_render_is_stable():
+    stream = EventStream(capacity=4)
+    event = stream.emit("migration", "onion -> hilbert", records=7, batches=2)
+    assert event.render() == "#1 [migration] onion -> hilbert  [batches=2 records=7]"
+
+
+def test_clear_resets_sequence_and_drops():
+    stream = EventStream(capacity=2)
+    for _ in range(5):
+        stream.emit("test", "x")
+    stream.clear()
+    assert len(stream) == 0
+    assert stream.drops == 0
+    assert stream.total_emitted == 0
+
+
+def test_concurrent_emits_do_not_lose_counts():
+    stream = EventStream(capacity=16)
+    n, threads = 500, 8
+
+    def work():
+        for i in range(n):
+            stream.emit("test", "spin", i=i)
+
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    assert stream.total_emitted == n * threads
+    assert stream.drops == n * threads - 16
+    assert len(stream) == 16
+    # Sequence numbers are unique and dense.
+    seqs = [e.seq for e in stream.tail(16)]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 16
+
+
+# ---------------------------------------------------------------------------
+# controller bridge
+# ---------------------------------------------------------------------------
+
+
+def _adaptive_index():
+    recorder = WorkloadRecorder()
+    index = SFCIndex(make_curve("onion", 8, 2), page_capacity=4, recorder=recorder)
+    index.bulk_load([(x, y) for x in range(8) for y in range(8)])
+    index.flush()
+    return index, recorder
+
+
+def _row_workload(index, queries=12):
+    for origin in range(queries):
+        index.range_query(Rect.from_origin((0, origin % 8), (8, 1)))
+
+
+def test_controller_decisions_bridge_into_global_stream():
+    index, _ = _adaptive_index()
+    candidates = [make_curve(name, 8, 2) for name in ("onion", "hilbert", "rowmajor")]
+    controller = AdaptiveController(
+        index,
+        candidates,
+        detector=DriftDetector(candidates, min_observations=1, check_interval=1),
+    )
+    _row_workload(index)
+    event = controller.check_now()
+    kinds = [e.kind for e in EVENTS.tail(50)]
+    assert "adaptation" in kinds
+    if event.migration is not None and event.migration.migrated:
+        assert "migration" in kinds
+        adaptation = [e for e in EVENTS.tail(50) if e.kind == "adaptation"][-1]
+        assert adaptation.data["migrated"] is True
+        assert adaptation.data["best_curve"] == event.report.best.curve.name
+
+
+def test_controller_audit_log_counts_evictions():
+    index, _ = _adaptive_index()
+    candidates = [make_curve("onion", 8, 2), make_curve("hilbert", 8, 2)]
+    controller = AdaptiveController(
+        index,
+        candidates,
+        detector=DriftDetector(candidates, min_observations=1, check_interval=1),
+        auto_migrate=False,
+        event_log_size=3,
+    )
+    _row_workload(index, queries=4)
+    for _ in range(8):
+        controller.check_now()
+    assert len(controller.events) == 3
+    # 8 decisions into a 3-slot ring: 5 were evicted — and counted.
+    assert controller.events_dropped == 5
+    # Nothing was lost from the (much larger) unified stream.
+    assert sum(1 for e in EVENTS.tail(50) if e.kind == "adaptation") == 8
+
+
+def test_checkpoint_and_recovery_emit_events(tmp_path):
+    index = SFCIndex(
+        make_curve("onion", 8, 2), page_capacity=4, durable_path=tmp_path / "store"
+    )
+    index.bulk_load([(x, y) for x in range(4) for y in range(4)])
+    index.flush()
+    index.checkpoint()
+    index.durability.close()
+    from repro.storage import recover
+
+    store = recover(tmp_path / "store")
+    store.durability.close()
+    kinds = [e.kind for e in EVENTS.tail(50)]
+    assert "checkpoint" in kinds
+    assert "recovery" in kinds
