@@ -1,12 +1,14 @@
 """The driver that runs every static rule and produces one report.
 
-``lint_tree`` walks the source tree once, parses each file once, and
-feeds the AST to the lock-discipline and invariant rules; the
-curve-matrix rule additionally scans the test tree.  Findings pass
-through the baseline (intentional, commented exceptions matched on
-stable ``(rule, key)`` pairs — see ``lint_baseline.txt``) before the
-report's ``ok`` verdict, and a baseline entry that matches nothing is
-itself an error so the baseline can only document real exceptions.
+``lint_tree`` walks the source tree once, parses each file once, builds
+the per-function CFG units once (:mod:`repro.devtools.dataflow`), and
+feeds them to the lock-discipline, lifecycle, ordering and invariant
+rules; the curve-matrix rule additionally scans the test tree.
+Findings pass through the baseline (intentional, commented exceptions
+matched on stable ``(rule, key)`` pairs — see ``lint_baseline.txt``)
+before the report's ``ok`` verdict, and a baseline entry that matches
+nothing is itself an error so the baseline can only document real
+exceptions.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import ast
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from . import invariants
+from . import dataflow, invariants, lifecycle, ordering
 from .config import (
     default_baseline_path,
     default_registry_path,
@@ -36,6 +38,9 @@ ALL_RULES: Tuple[str, ...] = (
     "notify-once",
     "mutable-default",
     "span-balance",
+    "resource-lifecycle",
+    "durability-ordering",
+    "exception-flow",
     "curve-matrix-gap",
 )
 
@@ -85,13 +90,17 @@ def lint_tree(
     report = LintReport()
     lock_lint = LockLint(repo_root=repo_root)
     for path in _python_files(src):
-        lock_lint.add_file(path)
-        tree = ast.parse(path.read_text(), filename=str(path))
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
         rel = relpath(path)
+        units = dataflow.module_units(tree)
+        lock_lint.add_module(tree, source, rel, units)
         report.extend(invariants.check_epoch_bumps(tree, rel))
         report.extend(invariants.check_notify_once(tree, rel))
         report.extend(invariants.check_mutable_defaults(tree, rel))
-        report.extend(invariants.check_span_balance(tree, rel))
+        report.extend(lifecycle.check_resource_lifecycle(tree, units, rel))
+        report.extend(ordering.check_durability_ordering(units, rel))
+        report.extend(ordering.check_exception_flow(tree, rel))
     report.extend(lock_lint.finalize())
 
     # The matrix rule is repo-level: run it against explicit paths, or

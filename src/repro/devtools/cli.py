@@ -69,6 +69,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "-v", "--verbose", action="store_true", help="also list baselined findings"
     )
     parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally write the report as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="additionally emit GitHub Actions annotations for each finding",
+    )
+    parser.add_argument(
         "--ratchet",
         action="store_true",
         help="additionally run the mypy strict ratchet (see repro.devtools.ratchet)",
@@ -104,6 +116,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     print(report.render(verbose=args.verbose))
+    if args.github:
+        annotations = report.render_github()
+        if annotations:
+            print(annotations)
+    if args.json is not None:
+        payload = report.render_json()
+        if str(args.json) == "-":
+            print(payload, end="")
+        else:
+            args.json.write_text(payload)
     exit_code = 0 if report.ok else 1
 
     if args.ratchet or args.ratchet_update:

@@ -9,16 +9,22 @@ is declared here, in one reviewable place.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Tuple
 
 __all__ = [
     "BLOCKING_ATTR_CALLS",
     "BLOCKING_NAME_CALLS",
+    "CHAIN_OP_NAMES",
     "DECLARED_LOCK_ORDER",
+    "DURABLE_APPLY_CALLS",
     "GLOBAL_LOCKS",
     "LOCK_ALIASES",
     "MATRIX_VARIABLE_NAMES",
+    "RESOURCE_PAIRS",
+    "ResourcePair",
+    "WAL_LOG_CALLS",
     "default_baseline_path",
     "default_registry_path",
     "default_src_root",
@@ -54,6 +60,109 @@ BLOCKING_ATTR_CALLS: FrozenSet[str] = frozenset(
 
 #: Bare-name calls that block (module functions / builtins).
 BLOCKING_NAME_CALLS: FrozenSet[str] = frozenset({"sleep", "input"})
+
+#: One row of the acquire/release pair table the resource-lifecycle
+#: rule enforces: anything obtained through a call matching ``acquires``
+#: must reach one of the ``releases`` methods on every CFG path.
+@dataclass(frozen=True)
+class ResourcePair:
+    #: Short kind label, used in finding keys (``cursor``, ``span``...).
+    kind: str
+    #: Rule name the findings are reported under — the span row keeps
+    #: the historical ``span-balance`` name, everything else reports as
+    #: ``resource-lifecycle``.
+    rule: str
+    #: Call names (``x.NAME(...)`` attribute or bare ``NAME(...)``)
+    #: whose result is the resource.
+    acquires: Tuple[str, ...]
+    #: Method names that release it (``resource.NAME()``).
+    releases: Tuple[str, ...]
+    #: When True, ``acquires`` entries match as name *suffixes*
+    #: (``open_span`` also matches ``_obs_open_span``).
+    suffix: bool = False
+    #: Restrict acquisition to calls whose receiver is one of these
+    #: bare names (``os.open``); None means any receiver.
+    receivers: Tuple[str, ...] = ()
+    #: Release-by-argument form: ``RECEIVER.NAME(resource)`` for rows
+    #: like ``os.close(fd)``.
+    release_funcs: Tuple[str, ...] = ()
+    #: When True, handing the resource to someone else (returning it,
+    #: storing it on an object, passing it as a call argument) transfers
+    #: ownership and ends local tracking.  Spans keep False — the
+    #: historical span-balance contract demands a local ``.end()``.
+    escapes: bool = True
+
+
+#: The acquire/release pairs the resource-lifecycle rule knows about.
+#: Cursor/PlanStream close, Trace span end, WAL / page-file handle
+#: close, raw fd close and BufferPool pin/unpin.
+RESOURCE_PAIRS: Tuple[ResourcePair, ...] = (
+    ResourcePair(
+        kind="span", rule="span-balance",
+        acquires=("open_span",), releases=("end",),
+        suffix=True, escapes=False,
+    ),
+    ResourcePair(
+        kind="cursor", rule="resource-lifecycle",
+        acquires=("cursor",), releases=("close",),
+    ),
+    ResourcePair(
+        kind="stream", rule="resource-lifecycle",
+        acquires=("stream",), releases=("close",),
+    ),
+    ResourcePair(
+        kind="wal-handle", rule="resource-lifecycle",
+        acquires=("open_append", "open_write"), releases=("close",),
+    ),
+    ResourcePair(
+        kind="fd", rule="resource-lifecycle",
+        acquires=("open",), releases=("close",),
+        receivers=("os",), release_funcs=("close",),
+    ),
+    ResourcePair(
+        kind="pin", rule="resource-lifecycle",
+        acquires=("pin",), releases=("unpin",),
+    ),
+)
+
+#: ``self.<name>(...)`` calls that append the logical op to the WAL.
+#: In any function that calls one of these, the durability-ordering
+#: rule requires the append to dominate every state mutation
+#: (CONTRIBUTING invariant 7: log-then-apply).
+WAL_LOG_CALLS: FrozenSet[str] = frozenset({"_log_durable", "_log_migrate"})
+
+#: ``self.<name>(...)`` calls that *apply* a mutation to in-memory
+#: state.  Together with any ``self.<attr> = ...`` store they are the
+#: mutations the WAL append must dominate.
+DURABLE_APPLY_CALLS: FrozenSet[str] = frozenset(
+    {
+        "_append_record",
+        "_note_write",
+        "_count_delta",
+        "_install_layout",
+        "_invalidate_layout",
+        "_retire_executor",
+        "_apply",
+    }
+)
+
+#: Functions *implementing* a link of the temp-write → fsync → replace
+#: → dir-fsync chain (the ``FileOps`` seam and its ``CrashInjector``
+#: wrappers).  The chain rule skips them: they are the boundary the
+#: rule checks everyone else against.
+CHAIN_OP_NAMES: FrozenSet[str] = frozenset(
+    {
+        "replace",
+        "write_file",
+        "fsync",
+        "fsync_dir",
+        "open_append",
+        "open_write",
+        "unlink",
+        "truncate",
+        "write",
+    }
+)
 
 #: Module-level assignment names that declare a test curve matrix.  The
 #: curve-matrix rule unions every string literal assigned to one of

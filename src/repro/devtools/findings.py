@@ -9,6 +9,7 @@ to the file above it.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence, Set, Tuple
@@ -35,6 +36,23 @@ class Finding:
         """``path:line: [rule] message`` — the CLI's output line."""
         location = f"{self.path}:{self.line}" if self.line else self.path
         return f"{location}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form — same fields, no formatting applied."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "key": self.key,
+        }
+
+    def render_github(self, level: str = "error") -> str:
+        """A GitHub Actions workflow annotation for this finding."""
+        location = f"file={self.path},line={self.line}" if self.line else f"file={self.path}"
+        # Annotation messages are single-line; %0A is the escaped newline.
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return f"::{level} {location},title={self.rule}::{message}"
 
 
 @dataclass
@@ -87,6 +105,30 @@ class LintReport:
             f"{len(self.unused_baseline)} stale baseline entr(y/ies)"
         )
         lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable report (``repro lint --json``)."""
+        return {
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "unused_baseline": list(self.unused_baseline),
+        }
+
+    def render_json(self) -> str:
+        """``to_dict`` serialized with a trailing newline (file-friendly)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    def render_github(self) -> str:
+        """Workflow annotations: errors for findings and stale entries,
+        notices for baselined exceptions."""
+        lines = [finding.render_github("error") for finding in self.findings]
+        lines.extend(finding.render_github("notice") for finding in self.suppressed)
+        lines.extend(
+            f"::error title=stale-baseline::no finding matches {stale!r}"
+            for stale in self.unused_baseline
+        )
         return "\n".join(lines)
 
 

@@ -1,7 +1,8 @@
 """Repo-specific invariant rules beyond lock discipline.
 
-Five rules, each encoding a bug class this codebase has actually had to
-defend against in its hammer suites:
+Four rules, each encoding a bug class this codebase has actually had to
+defend against in its hammer suites (the path-sensitive ``span-balance``
+rule lives in :mod:`repro.devtools.lifecycle` since the CFG port):
 
 * ``epoch-bump`` — any method that installs a layout
   (``self._layout = <something non-None>``) must also bump the plan
@@ -21,13 +22,6 @@ defend against in its hammer suites:
 * ``mutable-default`` — ``def f(x, acc=[])`` / ``acc={}`` / ``acc=set()``
   defaults are shared across calls; in a codebase whose planners and
   recorders are long-lived singletons this is cross-query state bleed.
-* ``span-balance`` — every floating ``open_span`` (the tracing form
-  whose scope outlives a ``with`` block) must be ended exactly once on
-  all paths: a span stored on ``self`` needs a method that ends it, a
-  local span needs its ``.end()`` in a ``finally``, and a discarded
-  ``open_span(...)`` result can never be ended at all.  A leaked span
-  reports a bogus still-running duration; see CONTRIBUTING invariant
-  10.
 * ``curve-matrix-gap`` — every curve name registered in
   ``repro.curves.registry`` must appear in at least one test curve
   matrix (module-level ``ALL_CURVE_SPECS`` / ``CURVE_NAMES`` / …
@@ -50,7 +44,6 @@ __all__ = [
     "check_epoch_bumps",
     "check_mutable_defaults",
     "check_notify_once",
-    "check_span_balance",
 ]
 
 _NOTIFY_CALL = "record_executed"
@@ -321,155 +314,6 @@ def check_mutable_defaults(tree: ast.AST, relpath: str) -> List[Finding]:
                         key=f"{relpath}::{qual}::{arg_name}",
                     )
                 )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# span-balance
-# ----------------------------------------------------------------------
-_OPEN_SPAN_CALL = "open_span"
-
-
-def _is_open_span_call(node: ast.AST) -> bool:
-    """True for any ``…open_span(...)`` call, however the name is bound
-    (``open_span``, ``_obs_open_span``, ``trace.open_span``)."""
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    name = func.id if isinstance(func, ast.Name) else (
-        func.attr if isinstance(func, ast.Attribute) else None
-    )
-    return name is not None and name.endswith(_OPEN_SPAN_CALL)
-
-
-def _ends_span_in_finally(func: ast.FunctionDef, var: str) -> bool:
-    for node in _own_nodes(func):
-        if isinstance(node, ast.Try) and node.finalbody:
-            for stmt in node.finalbody:
-                for call in ast.walk(stmt):
-                    if (
-                        isinstance(call, ast.Call)
-                        and isinstance(call.func, ast.Attribute)
-                        and call.func.attr == "end"
-                        and isinstance(call.func.value, ast.Name)
-                        and call.func.value.id == var
-                    ):
-                        return True
-    return False
-
-
-def check_span_balance(tree: ast.AST, relpath: str) -> List[Finding]:
-    """Every floating ``open_span`` must be ended on all paths.
-
-    ``with span(...)`` balances itself; ``open_span`` hands ownership to
-    the caller, so the rule demands the owner arrange ``.end()`` from a
-    path that survives exceptions:
-
-    * a span stored in ``self.<attr>`` needs *some* method of the class
-      to call its ``.end()`` (directly or through a local alias — the
-      ``PlanStream._finalize`` pattern, whose exactly-once funnel the
-      ``notify-once`` rule already polices);
-    * a span held in a local variable needs its ``.end()`` inside a
-      ``finally`` block of the same function (a happy-path ``end`` leaks
-      the span whenever the work in between raises);
-    * a discarded ``open_span(...)`` result can never be ended at all.
-    """
-    findings: List[Finding] = []
-
-    # (a) spans stored on self: the owning class must end them somewhere.
-    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
-        methods = {
-            item.name: item
-            for item in cls.body
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-        }
-        stored: Dict[str, int] = {}
-        for func in methods.values():
-            for node in _own_nodes(func):
-                if isinstance(node, ast.Assign) and _is_open_span_call(node.value):
-                    for target in node.targets:
-                        attr = _self_attr(target)
-                        if attr is not None and attr not in stored:
-                            stored[attr] = node.lineno
-        if not stored:
-            continue
-        ended: Set[str] = set()
-        for func in methods.values():
-            # Pass 1: local aliases of stored spans (span = self._span).
-            aliases: Dict[str, str] = {}  # local name -> stored attr
-            for node in _own_nodes(func):
-                if isinstance(node, ast.Assign):
-                    attr = _self_attr(node.value)
-                    if attr in stored:
-                        for target in node.targets:
-                            if isinstance(target, ast.Name):
-                                aliases[target.id] = attr
-            # Pass 2: .end() on the attribute or any of its aliases.
-            for node in _own_nodes(func):
-                if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "end"
-                ):
-                    receiver = node.func.value
-                    attr = _self_attr(receiver)
-                    if attr in stored:
-                        ended.add(attr)
-                    elif isinstance(receiver, ast.Name) and receiver.id in aliases:
-                        ended.add(aliases[receiver.id])
-        for attr, lineno in sorted(stored.items()):
-            if attr not in ended:
-                findings.append(
-                    Finding(
-                        rule="span-balance",
-                        path=relpath,
-                        line=lineno,
-                        message=(
-                            f"{cls.name} stores an open_span in self.{attr} "
-                            f"but no method ever calls its .end() — the span "
-                            f"leaks (stays live) on every path"
-                        ),
-                        key=f"{relpath}::{cls.name}.{attr}",
-                    )
-                )
-
-    # (b) local spans need a finally; (c) discarded spans are unendable.
-    for qual, func in _functions(tree):
-        for node in _own_nodes(func):
-            if isinstance(node, ast.Expr) and _is_open_span_call(node.value):
-                findings.append(
-                    Finding(
-                        rule="span-balance",
-                        path=relpath,
-                        line=node.lineno,
-                        message=(
-                            f"{qual} discards the open_span result — nothing "
-                            f"can ever end the span"
-                        ),
-                        key=f"{relpath}::{qual}::discard",
-                    )
-                )
-            if isinstance(node, ast.Assign) and _is_open_span_call(node.value):
-                local_targets = [
-                    target.id
-                    for target in node.targets
-                    if isinstance(target, ast.Name)
-                ]
-                for var in local_targets:
-                    if not _ends_span_in_finally(func, var):
-                        findings.append(
-                            Finding(
-                                rule="span-balance",
-                                path=relpath,
-                                line=node.lineno,
-                                message=(
-                                    f"{qual} opens floating span {var!r} "
-                                    f"without ending it in a finally — an "
-                                    f"exception in between leaks the span"
-                                ),
-                                key=f"{relpath}::{qual}::{var}",
-                            )
-                        )
     return findings
 
 

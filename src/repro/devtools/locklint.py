@@ -1,7 +1,9 @@
-"""AST lock-discipline analysis: guarded fields, lock order, blocking calls.
+"""CFG lock-discipline analysis: guarded fields, lock order, blocking calls.
 
 Three rules, all driven by the annotation convention in
-:mod:`repro.devtools.annotations`:
+:mod:`repro.devtools.annotations` and all running as one must-held
+dataflow analysis over the shared CFG of
+:mod:`repro.devtools.dataflow`:
 
 * ``unguarded-access`` — a read or write of a field annotated
   ``# guarded-by: <lock>`` outside a ``with self.<lock>:`` block (and
@@ -18,17 +20,20 @@ Three rules, all driven by the annotation convention in
 * ``blocking-under-lock`` — calls that park the calling thread
   (``future.result()``, ``thread.join()``, ``pool.shutdown()`` without
   ``wait=False``, ``time.sleep``, ``input``) while any tracked lock is
-  held.  A worker that needs the held lock to finish the awaited work
-  deadlocks the system; even when it does not, the lock's critical
-  section inherits the blocked wait.
+  held.
 
-The analysis is intra-procedural by design: a method calling another
-method that acquires locks contributes no static edge (the runtime
-:mod:`~repro.devtools.racecheck` tracker observes those).  Two small
-extensions make the repo's real idioms analyzable: local lock aliases
-(``lock = self._io_lock`` … ``with lock:``) are resolved, and lambdas /
-comprehensions inherit the enclosing held set while nested ``def``\\ s —
-code that may run on another thread — start with no locks held.
+Because the held set is computed per CFG node (a must-analysis: a lock
+counts as held at a point only when *every* path there holds it), the
+rules understand branches, loops, early returns and ``with`` releases
+on exception paths for free.  On top of the intraprocedural walk, a
+one-level interprocedural summary (:func:`~repro.devtools.dataflow
+.class_summaries`) records which lock-ish attributes each method
+acquires, so a ``self._helper()`` call site contributes the
+``held → helper-acquired`` lock-order edges the old per-function
+walker went blind on.  Local lock aliases (``lock = self._io_lock`` …
+``with lock:``) are resolved, and lambdas / comprehensions inherit the
+enclosing held set while nested ``def``\\ s — code that may run on
+another thread — start with only their own declared guards held.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from . import dataflow
 from .annotations import GUARDED_BY_COMMENT
 from .config import (
     BLOCKING_ATTR_CALLS,
@@ -47,6 +53,7 @@ from .config import (
     GLOBAL_LOCKS,
     LOCK_ALIASES,
 )
+from .dataflow import CFGNode, FunctionUnit, MethodSummary
 from .findings import Finding
 
 __all__ = ["LockLint", "lint_lock_discipline"]
@@ -177,11 +184,57 @@ def _build_class_model(
     return model
 
 
+#: Held-set state: frozenset of ``(lock, acquisition_site)`` pairs.
+#: The site (the owning ``with`` statement, or the decorator marker)
+#: lets a ``with-exit`` node release exactly what its ``with`` took,
+#: so re-entrant re-acquisition of an already-held lock is a no-op.
+_DECORATOR_SITE = -1
+
+
+class _HeldLockAnalysis(dataflow.Analysis):
+    """Must-analysis: which locks does *every* path hold here?"""
+
+    def __init__(self, lint: "LockLint", initial_held: Set[str], aliases: Dict[str, str]):
+        self._lint = lint
+        self._initial = frozenset(
+            (lock, _DECORATOR_SITE) for lock in initial_held
+        )
+        self._aliases = aliases
+
+    def initial(self):
+        return self._initial
+
+    def join(self, a, b):
+        return a & b
+
+    def transfer(self, state, node: CFGNode):
+        if node.kind == "with-enter":
+            lock = self._acquired(node)
+            held = {name for name, _ in state}
+            if lock is not None and lock not in held:
+                return state | {(lock, id(node.ref))}, state
+            return state, state
+        if node.kind == "with-exit" and node.ref is not None:
+            site = id(node.ref)
+            out = frozenset(p for p in state if p[1] != site)
+            return out, out
+        return state, state
+
+    def _acquired(self, node: CFGNode) -> Optional[str]:
+        for sub in node.scan:
+            if isinstance(sub, ast.expr):
+                lock = self._lint._acquired_lock(sub, self._aliases)
+                if lock is not None:
+                    return lock
+        return None
+
+
 class LockLint:
     """Accumulates per-file analysis, then reports cross-file lock order.
 
-    Usage: ``add_file`` every source file, then ``finalize`` for the
-    combined findings (per-file findings plus the global graph checks).
+    Usage: ``add_file`` (or ``add_module`` with a pre-parsed tree)
+    every source file, then ``finalize`` for the combined findings
+    (per-file findings plus the global graph checks).
     """
 
     def __init__(
@@ -206,14 +259,41 @@ class LockLint:
         and edge collection for the graph checks in ``finalize``)."""
         source = path.read_text()
         tree = ast.parse(source, filename=str(path))
-        relpath = self._relpath(path)
+        self.add_module(tree, source, self._relpath(path))
+
+    def add_module(
+        self,
+        tree: ast.AST,
+        source: str,
+        relpath: str,
+        units: Optional[Sequence[FunctionUnit]] = None,
+    ) -> None:
+        """Analyze one pre-parsed module (the driver parses each file
+        once and shares the tree and units across every rule)."""
         comments = _collect_guard_comments(source)
-        for node in ast.walk(tree):
-            if isinstance(node, ast.ClassDef):
-                model = _build_class_model(node, relpath, comments)
-                for item in node.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        self._check_method(model, item)
+        if units is None:
+            units = dataflow.module_units(tree)
+        models: Dict[int, _ClassModel] = {}
+        summaries: Dict[int, Dict[str, MethodSummary]] = {}
+        alias_cache: Dict[int, Dict[str, str]] = {}
+        for unit in units:
+            if unit.cls is None:
+                continue  # module-level functions hold no class locks
+            key = id(unit.cls)
+            if key not in models:
+                models[key] = _build_class_model(unit.cls, relpath, comments)
+                summaries[key] = dataflow.class_summaries(
+                    unit.cls,
+                    is_lock=self._is_lock,
+                    resolve=self._resolve,
+                    acquire_kind=lambda expr: None,
+                )
+            root_key = id(unit.root)
+            if root_key not in alias_cache:
+                alias_cache[root_key] = self._local_lock_aliases(unit.root)
+            self._check_unit(
+                unit, models[key], summaries[key], alias_cache[root_key]
+            )
 
     def _relpath(self, path: Path) -> str:
         if self._repo_root is not None:
@@ -226,14 +306,7 @@ class LockLint:
     def _resolve(self, lock: str) -> str:
         return self._aliases.get(lock, lock)
 
-    def _check_method(self, model: _ClassModel, func: ast.FunctionDef) -> None:
-        held = {self._resolve(name) for name in _decorator_guards(func)}
-        local_aliases = self._local_lock_aliases(func)
-        scope = f"{model.name}.{func.name}"
-        check_guards = func.name not in ("__init__", "__post_init__")
-        self._visit(func.body, model, func, held, local_aliases, scope, check_guards)
-
-    def _local_lock_aliases(self, func: ast.FunctionDef) -> Dict[str, str]:
+    def _local_lock_aliases(self, func: ast.AST) -> Dict[str, str]:
         """``{local_name: lock_attr}`` for ``name = self.<lock>`` bindings."""
         aliases: Dict[str, str] = {}
         for node in ast.walk(func):
@@ -243,7 +316,7 @@ class LockLint:
                 and isinstance(node.targets[0], ast.Name)
             ):
                 attr = _self_attr(node.value)
-                if attr is not None and self._is_lock(model_attr=attr):
+                if attr is not None and self._is_lock(attr):
                     aliases[node.targets[0].id] = attr
         return aliases
 
@@ -264,39 +337,37 @@ class LockLint:
             return self._resolve(local_aliases[expr.id])
         return None
 
-    def _visit(
+    # ------------------------------------------------------------------
+    # One unit = one CFG fixpoint + one reporting pass
+    # ------------------------------------------------------------------
+    def _check_unit(
         self,
-        nodes: Sequence[ast.AST],
+        unit: FunctionUnit,
         model: _ClassModel,
-        func: ast.FunctionDef,
-        held: Set[str],
+        summaries: Dict[str, MethodSummary],
         local_aliases: Dict[str, str],
-        scope: str,
-        check_guards: bool,
     ) -> None:
-        for node in nodes:
-            self._visit_node(
-                node, model, func, held, local_aliases, scope, check_guards
-            )
-
-    def _visit_node(
-        self,
-        node: ast.AST,
-        model: _ClassModel,
-        func: ast.FunctionDef,
-        held: Set[str],
-        local_aliases: Dict[str, str],
-        scope: str,
-        check_guards: bool,
-    ) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            acquired: List[str] = []
-            for item in node.items:
-                lock = self._acquired_lock(item.context_expr, local_aliases)
-                self._visit_node(
-                    item.context_expr, model, func, held, local_aliases, scope,
-                    check_guards,
-                )
+        held0 = {self._resolve(name) for name in _decorator_guards(unit.func)}
+        check_guards = unit.method_name not in ("__init__", "__post_init__")
+        scope = unit.qualname
+        cfg = unit.cfg
+        states = dataflow.run_forward(
+            cfg, _HeldLockAnalysis(self, held0, local_aliases)
+        )
+        flagged: Set[int] = set()  # id(ast node) — finally bodies are
+        # duplicated in the CFG; each source-level site reports once.
+        for node in cfg.nodes:
+            state = states.get(node.index)
+            if state is None:
+                continue  # unreachable
+            held = {name for name, _ in state}
+            if node.kind == "with-enter" and node.ref is not None:
+                lock = None
+                for sub in node.scan:
+                    if isinstance(sub, ast.expr):
+                        lock = self._acquired_lock(sub, local_aliases)
+                        if lock is not None:
+                            break
                 if lock is not None and lock not in held:
                     for already in sorted(held):
                         self._edges.append(
@@ -305,68 +376,68 @@ class LockLint:
                                 acquired=lock,
                                 scope=f"{model.path}::{model.name}",
                                 path=model.path,
-                                line=node.lineno,
+                                line=node.ref.lineno,
                             )
                         )
-                    acquired.append(lock)
-            self._visit(
-                node.body, model, func, held | set(acquired), local_aliases,
-                scope, check_guards,
-            )
-            return
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            # A nested def may run on another thread (pool.submit) —
-            # analyze it with only its own declared guards held.
-            nested_held = {self._resolve(name) for name in _decorator_guards(node)}
-            self._visit(
-                node.body, model, func, nested_held, local_aliases,
-                f"{scope}.{node.name}", check_guards,
-            )
-            return
-        if isinstance(node, ast.Attribute):
-            attr = _self_attr(node)
-            if (
-                check_guards
-                and attr is not None
-                and attr in model.guarded
-                and self._resolve(model.guarded[attr]) not in held
-            ):
-                self._findings.append(
-                    Finding(
-                        rule="unguarded-access",
-                        path=model.path,
-                        line=node.lineno,
-                        message=(
-                            f"{model.name}.{func.name} accesses self.{attr} "
-                            f"(guarded by {model.guarded[attr]}) without "
-                            f"holding the lock"
-                        ),
-                        key=f"{model.path}::{scope}::{attr}",
+            for sub in dataflow.scan_walk(node):
+                attr = _self_attr(sub)
+                if (
+                    check_guards
+                    and attr is not None
+                    and attr in model.guarded
+                    and self._resolve(model.guarded[attr]) not in held
+                    and id(sub) not in flagged
+                ):
+                    flagged.add(id(sub))
+                    self._findings.append(
+                        Finding(
+                            rule="unguarded-access",
+                            path=model.path,
+                            line=sub.lineno,
+                            message=(
+                                f"{model.name}.{unit.method_name} accesses "
+                                f"self.{attr} (guarded by "
+                                f"{model.guarded[attr]}) without holding "
+                                f"the lock"
+                            ),
+                            key=f"{model.path}::{scope}::{attr}",
+                        )
                     )
-                )
-            self._visit_node(
-                node.value, model, func, held, local_aliases, scope, check_guards
-            )
-            return
-        if isinstance(node, ast.Call) and held:
-            blocking = self._blocking_call_name(node)
-            if blocking is not None:
-                self._findings.append(
-                    Finding(
-                        rule="blocking-under-lock",
-                        path=model.path,
-                        line=node.lineno,
-                        message=(
-                            f"{model.name}.{func.name} calls {blocking}() while "
-                            f"holding {', '.join(sorted(held))}"
-                        ),
-                        key=f"{model.path}::{scope}::{blocking}",
-                    )
-                )
-        for child in ast.iter_child_nodes(node):
-            self._visit_node(
-                child, model, func, held, local_aliases, scope, check_guards
-            )
+                if isinstance(sub, ast.Call):
+                    if held:
+                        blocking = self._blocking_call_name(sub)
+                        if blocking is not None and id(sub) not in flagged:
+                            flagged.add(id(sub))
+                            self._findings.append(
+                                Finding(
+                                    rule="blocking-under-lock",
+                                    path=model.path,
+                                    line=sub.lineno,
+                                    message=(
+                                        f"{model.name}.{unit.method_name} "
+                                        f"calls {blocking}() while holding "
+                                        f"{', '.join(sorted(held))}"
+                                    ),
+                                    key=f"{model.path}::{scope}::{blocking}",
+                                )
+                            )
+                    # One-level interprocedural: a self._helper() call
+                    # site contributes held -> helper-acquired edges.
+                    callee = _self_attr(sub.func)
+                    if callee is not None and callee in summaries:
+                        for acquired in sorted(summaries[callee].acquires):
+                            if acquired in held:
+                                continue  # re-entrant, no new edge
+                            for already in sorted(held):
+                                self._edges.append(
+                                    _Edge(
+                                        held=already,
+                                        acquired=acquired,
+                                        scope=f"{model.path}::{model.name}",
+                                        path=model.path,
+                                        line=sub.lineno,
+                                    )
+                                )
 
     @staticmethod
     def _blocking_call_name(node: ast.Call) -> Optional[str]:

@@ -1,0 +1,25 @@
+"""Seeded bug for ``durability-ordering`` (log-then-apply): state is
+mutated *before* the WAL append that would make the mutation
+replayable — a crash between the two loses the write silently.
+
+``good_insert`` shows the disciplined order and must stay silent.
+"""
+
+
+class Ledger:
+    def __init__(self):
+        self._rows = {}
+
+    def _log_durable(self, op, key, value):
+        raise NotImplementedError
+
+    def _append_record(self, key, value):
+        self._rows[key] = value
+
+    def bad_insert(self, key, value):
+        self._append_record(key, value)
+        self._log_durable("insert", key, value)
+
+    def good_insert(self, key, value):
+        self._log_durable("insert", key, value)
+        self._append_record(key, value)

@@ -1,0 +1,27 @@
+"""Seeded bug for ``resource-lifecycle``: a cursor acquired and never
+closed — the happy path returns a row and leaks the handle.
+
+``RowReader.cursor`` is the provider (exempt by name); ``first_row``
+is the one consumer that leaks.  ``sum_rows`` shows the disciplined
+try/finally shape and must stay silent.
+"""
+
+
+class RowReader:
+    def cursor(self, query):
+        raise NotImplementedError
+
+    def first_row(self, query):
+        cur = self.cursor(query)
+        first = cur.fetchone()
+        return first
+
+    def sum_rows(self, query):
+        total = 0
+        cur = self.cursor(query)
+        try:
+            for row in cur:
+                total += row[0]
+        finally:
+            cur.close()
+        return total

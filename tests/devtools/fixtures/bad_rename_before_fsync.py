@@ -1,0 +1,21 @@
+"""Seeded bug for ``durability-ordering`` (rename chain): an
+``os.replace``-style commit rename of a path that was never written
+through the fsyncing ``write_file`` seam — a crash can publish an
+unsynced (possibly empty) file under the final name.
+
+``publish_disciplined`` runs the full temp-write -> fsync -> replace ->
+dir-fsync chain and must stay silent.
+"""
+
+
+class Publisher:
+    def publish(self, ops, root, payload):
+        tmp = root / "manifest.tmp"
+        ops.replace(tmp, root / "manifest")
+        ops.fsync_dir(root)
+
+    def publish_disciplined(self, ops, root, payload):
+        tmp = root / "manifest.tmp"
+        ops.write_file(tmp, payload)
+        ops.replace(tmp, root / "manifest")
+        ops.fsync_dir(root)

@@ -1,0 +1,28 @@
+"""Seeded bug for ``exception-flow``: a ``BaseException`` handler that
+can complete without re-raising — it would eat the crash-injection
+suite's ``InjectedCrash`` and silently void every durability proof.
+
+``drain_carefully`` cleans up and re-raises on every path and must
+stay silent.
+"""
+
+
+class Sink:
+    def _flush(self):
+        raise NotImplementedError
+
+    def _abort(self):
+        raise NotImplementedError
+
+    def drain(self):
+        try:
+            self._flush()
+        except BaseException:
+            pass
+
+    def drain_carefully(self):
+        try:
+            self._flush()
+        except BaseException:
+            self._abort()
+            raise

@@ -91,6 +91,42 @@ class TestSeededFixtures:
         # The finally-disciplined function is silent.
         assert not any("disciplined_local" in f.key for f in findings)
 
+    def test_leaked_cursor(self):
+        report = _lint("bad_leaked_cursor.py")
+        findings = [f for f in report.findings if f.rule == "resource-lifecycle"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.key.endswith("::RowReader.first_row::cursor:cur")
+        # The provider method and the try/finally consumer are silent.
+        assert report.findings == findings
+
+    def test_apply_before_wal(self):
+        report = _lint("bad_apply_before_wal.py")
+        findings = [f for f in report.findings if f.rule == "durability-ordering"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.key.endswith("::Ledger.bad_insert::_append_record")
+        # The log-first twin is silent.
+        assert report.findings == findings
+
+    def test_rename_before_fsync(self):
+        report = _lint("bad_rename_before_fsync.py")
+        findings = [f for f in report.findings if f.rule == "durability-ordering"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.key.endswith("::Publisher.publish::replace:tmp")
+        # The full-chain twin is silent.
+        assert report.findings == findings
+
+    def test_swallowed_base_exception(self):
+        report = _lint("bad_swallow.py")
+        findings = [f for f in report.findings if f.rule == "exception-flow"]
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.key.endswith("::Sink.drain::BaseException#1")
+        # The re-raising twin is silent.
+        assert report.findings == findings
+
     def test_curve_matrix_gap(self):
         base = FIXTURES / "bad_curve_matrix"
         report = lint_tree(
@@ -123,6 +159,27 @@ class TestCleanTargets:
         # The intentional exceptions (see lint_baseline.txt) are visible
         # as suppressed findings, not silently dropped.
         assert {f.key for f in report.suppressed} >= {"peano", "z"}
+
+    def test_new_rule_families_raw_on_real_tree(self):
+        """Without the baseline: the lifecycle and durability rules are
+        genuinely clean on the shipped tree, and the only exception-flow
+        findings are the five documented intentional swallows."""
+        report = lint_tree(use_baseline=False)
+        rules = {f.rule for f in report.findings}
+        assert "resource-lifecycle" not in rules
+        assert "durability-ordering" not in rules
+        swallows = {
+            f.key.split("::", 1)[1]
+            for f in report.findings
+            if f.rule == "exception-flow"
+        }
+        assert swallows == {
+            "Counter.inc::Exception#1",
+            "Gauge.set::Exception#1",
+            "Gauge.inc::Exception#1",
+            "Histogram._fold_locked::Exception#1",
+            "scan_wal::Exception#1",
+        }
 
 
 # ----------------------------------------------------------------------
@@ -198,5 +255,8 @@ class TestFindingRendering:
             "notify-once",
             "mutable-default",
             "span-balance",
+            "resource-lifecycle",
+            "durability-ordering",
+            "exception-flow",
             "curve-matrix-gap",
         }

@@ -1,0 +1,185 @@
+"""Unit tests for the resource-lifecycle rule beyond the seeded
+fixture: with-blocks, ownership escapes, the one-level helper summary,
+stored-on-self resources, and the span row's strict historical
+contract."""
+
+import ast
+
+from repro.devtools import dataflow
+from repro.devtools.lifecycle import check_resource_lifecycle
+
+REL = "mod.py"
+
+
+def _check(source):
+    tree = ast.parse(source)
+    return check_resource_lifecycle(tree, dataflow.module_units(tree), REL)
+
+
+def _keys(findings):
+    return {f.key for f in findings}
+
+
+class TestLocalTracking:
+    def test_with_block_releases_on_every_path(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        with self.cursor(q) as cur:\n"
+            "            if q:\n"
+            "                return cur.fetchone()\n"
+            "            step()\n"
+        )
+        assert findings == []
+
+    def test_return_escape_transfers_ownership(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        cur = self.cursor(q)\n"
+            "        return cur\n"
+        )
+        assert findings == []
+
+    def test_call_argument_escape_transfers_ownership(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        cur = self.cursor(q)\n"
+            "        self.adopt(cur)\n"
+        )
+        assert findings == []
+
+    def test_leak_on_all_paths_flagged(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        cur = self.cursor(q)\n"
+            "        cur.fetchone()\n"
+        )
+        assert _keys(findings) == {f"{REL}::C.m::cursor:cur"}
+        (finding,) = findings
+        assert "a path reaches function exit" in finding.message
+
+    def test_exception_only_leak_says_so(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        cur = self.cursor(q)\n"
+            "        self.work()\n"
+            "        cur.close()\n"
+        )
+        assert _keys(findings) == {f"{REL}::C.m::cursor:cur"}
+        (finding,) = findings
+        assert "exception path" in finding.message
+
+    def test_try_finally_close_is_silent(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        cur = self.cursor(q)\n"
+            "        try:\n"
+            "            self.work()\n"
+            "        finally:\n"
+            "            cur.close()\n"
+        )
+        assert findings == []
+
+    def test_discarded_acquire_flagged(self):
+        findings = _check(
+            "class C:\n"
+            "    def m(self, q):\n"
+            "        self.cursor(q)\n"
+        )
+        assert _keys(findings) == {f"{REL}::C.m::cursor:discard"}
+
+    def test_provider_method_exempt(self):
+        findings = _check(
+            "class C:\n"
+            "    def cursor(self, q):\n"
+            "        return self._backend.cursor(q)\n"
+        )
+        assert findings == []
+
+
+class TestInterprocedural:
+    def test_helper_returning_acquire_counts_as_acquisition(self):
+        findings = _check(
+            "class C:\n"
+            "    def _open(self, q):\n"
+            "        return self.cursor(q)\n"
+            "    def use(self, q):\n"
+            "        cur = self._open(q)\n"
+            "        cur.fetchone()\n"
+        )
+        assert _keys(findings) == {f"{REL}::C.use::cursor:cur"}
+
+    def test_helper_acquisition_released_is_silent(self):
+        findings = _check(
+            "class C:\n"
+            "    def _open(self, q):\n"
+            "        return self.cursor(q)\n"
+            "    def use(self, q):\n"
+            "        cur = self._open(q)\n"
+            "        try:\n"
+            "            self.work()\n"
+            "        finally:\n"
+            "            cur.close()\n"
+        )
+        assert findings == []
+
+
+class TestStoredResources:
+    def test_stored_handle_without_releasing_method(self):
+        findings = _check(
+            "class C:\n"
+            "    def __init__(self, ops, path):\n"
+            "        self._h = ops.open_append(path)\n"
+        )
+        assert _keys(findings) == {f"{REL}::C._h::wal-handle"}
+
+    def test_stored_handle_with_close_method_is_silent(self):
+        findings = _check(
+            "class C:\n"
+            "    def __init__(self, ops, path):\n"
+            "        self._h = ops.open_append(path)\n"
+            "    def close(self):\n"
+            "        self._h.close()\n"
+        )
+        assert findings == []
+
+    def test_release_through_local_alias_counts(self):
+        findings = _check(
+            "class C:\n"
+            "    def __init__(self, ops, path):\n"
+            "        self._h = ops.open_append(path)\n"
+            "    def close(self):\n"
+            "        handle = self._h\n"
+            "        handle.close()\n"
+        )
+        assert findings == []
+
+
+class TestSpanRow:
+    def test_span_escape_is_still_a_leak(self):
+        """The span row keeps the strict historical contract: a local
+        span must be ended locally, handing it away is not a release."""
+        findings = _check(
+            "def m():\n"
+            "    sp = open_span('x')\n"
+            "    return sp\n"
+        )
+        assert _keys(findings) == {f"{REL}::m::sp"}
+        (finding,) = findings
+        assert finding.rule == "span-balance"
+
+    def test_span_ended_in_finally_is_silent(self):
+        findings = _check(
+            "def m():\n"
+            "    sp = open_span('x')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        sp.end()\n"
+        )
+        assert findings == []

@@ -6,6 +6,7 @@ the flag plumbing (``--rules``, ``--list-rules``, dispatch through
 ``python -m repro lint``).
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,11 @@ SEEDED = [
     "bad_epoch.py",
     "bad_notify.py",
     "bad_mutable_default.py",
+    "bad_span.py",
+    "bad_leaked_cursor.py",
+    "bad_apply_before_wal.py",
+    "bad_rename_before_fsync.py",
+    "bad_swallow.py",
 ]
 
 
@@ -82,6 +88,53 @@ class TestFlags:
     def test_unknown_rule_is_an_error(self):
         with pytest.raises(ValueError, match="unknown rule"):
             lint_main(["--rules", "bogus"])
+
+    def test_json_report_written(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        code = lint_main(
+            [
+                "--src", str(FIXTURES / "bad_swallow.py"),
+                "--no-baseline",
+                "--json", str(out_path),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "exception-flow"
+        assert finding["key"].endswith("::Sink.drain::BaseException#1")
+        assert set(finding) == {"rule", "path", "line", "message", "key"}
+
+    def test_json_to_stdout(self, capsys):
+        code = lint_main(
+            ["--src", str(FIXTURES / "clean_module.py"), "--json", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    def test_github_annotations_emitted(self, capsys):
+        code = lint_main(
+            [
+                "--src", str(FIXTURES / "bad_apply_before_wal.py"),
+                "--no-baseline",
+                "--github",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=durability-ordering" in out
+
+    def test_github_annotations_silent_when_clean(self, capsys):
+        code = lint_main(
+            ["--src", str(FIXTURES / "clean_module.py"), "--github"]
+        )
+        assert code == 0
+        assert "::error" not in capsys.readouterr().out
 
 
 class TestDispatch:
